@@ -1,0 +1,165 @@
+// Benchmarks regenerating the paper's evaluation artifacts: one Benchmark
+// per table/figure (via the experiment harness in reduced "quick" form so a
+// full -bench=. sweep stays tractable) plus micro-benchmarks of the
+// underlying kernels. For full-size runs use cmd/mfbc-bench; EXPERIMENTS.md
+// records its output.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+)
+
+func benchConfig() bench.Config {
+	return bench.Config{Procs: []int{1, 4}, Quick: true, Batch: 16, Seed: 42}
+}
+
+// runExperiment drives one harness experiment per iteration and reports the
+// average modeled MTEPS/node over its points.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var rate float64
+	var count int
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Err == "" && p.MTEPSNode > 0 {
+				rate += p.MTEPSNode
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(rate/float64(count), "MTEPS/node")
+	}
+}
+
+// BenchmarkTable2Stats regenerates Table 2 (graph properties).
+func BenchmarkTable2Stats(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig1aStrongScalingMFBC regenerates Figure 1(a).
+func BenchmarkFig1aStrongScalingMFBC(b *testing.B) { runExperiment(b, "fig1a") }
+
+// BenchmarkFig1bStrongScalingCombBLAS regenerates Figure 1(b).
+func BenchmarkFig1bStrongScalingCombBLAS(b *testing.B) { runExperiment(b, "fig1b") }
+
+// BenchmarkFig1cRMAT regenerates Figure 1(c) (weighted + unweighted R-MAT).
+func BenchmarkFig1cRMAT(b *testing.B) { runExperiment(b, "fig1c") }
+
+// BenchmarkFig2aEdgeWeakScaling regenerates Figure 2(a).
+func BenchmarkFig2aEdgeWeakScaling(b *testing.B) { runExperiment(b, "fig2a") }
+
+// BenchmarkFig2bVertexWeakScaling regenerates Figure 2(b).
+func BenchmarkFig2bVertexWeakScaling(b *testing.B) { runExperiment(b, "fig2b") }
+
+// BenchmarkTable3CommCosts regenerates Table 3 (critical-path costs).
+func BenchmarkTable3CommCosts(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkAblationDecomposition compares forced 1D/2D/3D decompositions.
+func BenchmarkAblationDecomposition(b *testing.B) { runExperiment(b, "ablate-decomp") }
+
+// BenchmarkAblationBatchSize sweeps n_b.
+func BenchmarkAblationBatchSize(b *testing.B) { runExperiment(b, "ablate-batch") }
+
+// BenchmarkAblationCannon contrasts Cannon's algorithm with the
+// broadcast-based 2D variants and the automatic plan.
+func BenchmarkAblationCannon(b *testing.B) { runExperiment(b, "ablate-cannon") }
+
+// --- kernel micro-benchmarks ---
+
+// BenchmarkSpGEMMGustavson measures the local generalized SpGEMM kernel on
+// a multpath-T-times-adjacency shape (the Bellman-Ford action over the
+// multpath monoid).
+func BenchmarkSpGEMMGustavson(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8, 1))
+	a := g.Adjacency()
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 64))
+	}
+	t, _, _ := core.MFBF(a, sources)
+	mp := algebra.MultPathMonoid()
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		_, o := sparse.Mul(t, a, algebra.BFAction, mp)
+		ops += o
+	}
+	b.ReportMetric(float64(ops)/float64(b.N), "ops/mul")
+}
+
+// BenchmarkMFBCSequentialBatch measures one sequential MFBF+MFBr batch.
+func BenchmarkMFBCSequentialBatch(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8, 2))
+	a := g.Adjacency()
+	at := sparse.Transpose(a)
+	sources := make([]int32, 32)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 32))
+	}
+	bc := make([]float64, g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MFBCBatch(a, at, sources, bc)
+	}
+	edges := float64(g.AdjacencyNNZ() * len(sources))
+	b.ReportMetric(float64(b.N)*edges/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+// BenchmarkBrandesBatch measures the traversal-based oracle on the same
+// batch for comparison.
+func BenchmarkBrandesBatch(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8, 2))
+	sources := make([]int32, 32)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 32))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.BrandesSources(g, sources)
+	}
+}
+
+// BenchmarkCombBLASSequentialBatch measures one CombBLAS-style batch.
+func BenchmarkCombBLASSequentialBatch(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8, 2))
+	a := g.Adjacency()
+	at := sparse.Transpose(a)
+	sources := make([]int32, 32)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 32))
+	}
+	bc := make([]float64, g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.CombBLASBatch(a, at, sources, bc)
+	}
+}
+
+// BenchmarkDistributedMultiply measures one distributed frontier product on
+// the simulated machine (p=4, 2D SUMMA).
+func BenchmarkDistributedMultiply(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 8, 3))
+	sources := make([]int32, 16)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 16))
+	}
+	plan := spgemm.Plan{P1: 1, P2: 2, P3: 2, X: spgemm.RoleA, YZ: spgemm.VarAB}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.MFBCDistributed(g, core.DistOptions{Procs: 4, Sources: sources, Plan: &plan})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command graphgen generates benchmark graphs in the library's edge-list
+// format: R-MAT power-law graphs, uniform random graphs, meshes, and the
+// paper's SNAP stand-ins.
+//
+// Examples:
+//
+//	graphgen -kind rmat -scale 12 -edgefactor 16 -out rmat.txt
+//	graphgen -kind uniform -n 10000 -m 200000 -directed -out uni.txt
+//	graphgen -kind standin -name patents-sim -out patents.txt
+//	graphgen -kind grid -rows 64 -cols 64 -maxw 10 -out road.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "rmat | uniform | grid | standin")
+	scale := flag.Int("scale", 10, "rmat: log2 vertex count")
+	edgefactor := flag.Int("edgefactor", 8, "rmat: average degree target")
+	n := flag.Int("n", 1024, "uniform: vertices")
+	m := flag.Int("m", 8192, "uniform: edges")
+	rows := flag.Int("rows", 32, "grid: rows")
+	cols := flag.Int("cols", 32, "grid: columns")
+	maxw := flag.Int("maxw", 1, "grid: maximum integer weight (1 = unweighted)")
+	name := flag.String("name", "orkut-sim", "standin: id")
+	directed := flag.Bool("directed", false, "generate a directed graph")
+	weights := flag.Int("weights", 0, "add uniform integer weights in [1,w]")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print graph statistics to stderr")
+	flag.Parse()
+
+	var g *repro.Graph
+	var err error
+	switch *kind {
+	case "rmat":
+		opt := graph.DefaultRMAT(*scale, *edgefactor, *seed)
+		opt.Directed = *directed
+		g = graph.RMAT(opt)
+	case "uniform":
+		g = repro.UniformGraph(*n, *m, *directed, *seed)
+	case "grid":
+		g = repro.GridGraph(*rows, *cols, *maxw, *seed)
+	case "standin":
+		g, err = repro.StandinGraph(*name, 1, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *weights > 1 {
+		g.AddUniformWeights(1, *weights, *seed+1)
+	}
+	if *stats {
+		st := graph.ComputeStats(g, 32, *seed)
+		fmt.Fprintf(os.Stderr, "n=%d m=%d k=%.2f maxdeg=%d diam=%d effdiam=%.1f reach=%.2f\n",
+			st.N, st.M, st.AvgDegree, st.MaxDegree, st.Diameter, st.EffDiam, st.Reachable)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command mfbc-bench regenerates the tables and figures of the paper's
+// evaluation section on the simulated machine. Run with -list to see the
+// experiment ids and -exp all to reproduce everything.
+//
+// Example:
+//
+//	mfbc-bench -exp fig1a -procs 1,4,16,64 -batch 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	procs := flag.String("procs", "1,4,16,64", "comma-separated simulated node counts")
+	scale := flag.Int("scale", 1, "stand-in graph scale multiplier")
+	batch := flag.Int("batch", 32, "sources per timed batch")
+	seed := flag.Int64("seed", 42, "generator seed")
+	quick := flag.Bool("quick", false, "shrink workloads (smoke test)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "mfbc-bench: -exp is required (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	var plist []int
+	for _, tok := range strings.Split(*procs, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "mfbc-bench: bad proc count %q\n", tok)
+			os.Exit(2)
+		}
+		plist = append(plist, v)
+	}
+	cfg := bench.Config{
+		Out:   os.Stdout,
+		Procs: plist,
+		Scale: *scale,
+		Batch: *batch,
+		Seed:  *seed,
+		Quick: *quick,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments
+	}
+	for _, id := range ids {
+		if _, err := bench.Run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mfbc-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Communication tuning: explore the decomposition space of §5.2 the way
+// CTF's mapper does — estimate the cost of every 1D/2D/3D plan for an MFBC
+// frontier multiplication, then measure a few of them for real and compare
+// against the automatic choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spgemm"
+)
+
+func main() {
+	const p = 64
+	g, err := repro.StandinGraph("orkut-sim", 1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := machine.DefaultModel()
+	nb := 64
+	problem := spgemm.Problem{
+		M: nb, K: g.N, N: g.N,
+		NNZA:   int64(float64(nb) * g.AvgDegree()),
+		NNZB:   int64(g.AdjacencyNNZ()),
+		BytesA: 24, BytesB: 16, BytesC: 24,
+	}
+
+	// Rank every decomposition by modeled cost.
+	type scored struct {
+		plan spgemm.Plan
+		cost float64
+	}
+	var all []scored
+	for _, f := range machine.Factorizations3(p) {
+		for _, x := range []spgemm.Role{spgemm.RoleA, spgemm.RoleB, spgemm.RoleC} {
+			for _, yz := range []spgemm.Variant{spgemm.VarAB, spgemm.VarAC, spgemm.VarBC} {
+				plan := spgemm.Plan{P1: f[0], P2: f[1], P3: f[2], X: x, YZ: yz}
+				all = append(all, scored{plan, spgemm.Estimate(plan, problem, model)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].cost < all[j].cost })
+	fmt.Printf("decomposition space for one frontier product on p=%d (%d plans):\n", p, len(all))
+	fmt.Println("  best five by modeled cost:")
+	for _, s := range all[:5] {
+		fmt.Printf("    %-22s %.6fs\n", s.plan, s.cost)
+	}
+	fmt.Printf("  worst: %-22s %.6fs (%.0fx the best)\n",
+		all[len(all)-1].plan, all[len(all)-1].cost, all[len(all)-1].cost/all[0].cost)
+
+	// Measure a representative subset end to end on one source batch.
+	sources := make([]int32, nb)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	candidates := []spgemm.Plan{
+		all[0].plan, // model's favourite
+		{P1: 1, P2: 8, P3: 8, X: spgemm.RoleA, YZ: spgemm.VarAB},  // flat 2D SUMMA
+		{P1: 64, P2: 1, P3: 1, X: spgemm.RoleB, YZ: spgemm.VarAB}, // 1D adjacency replication
+		{P1: 4, P2: 4, P3: 4, X: spgemm.RoleB, YZ: spgemm.VarAC},  // Theorem 5.1 layout
+	}
+	fmt.Println("\nmeasured (modeled critical path) per batch:")
+	for _, plan := range candidates {
+		plan := plan
+		res, err := core.MFBCDistributed(g, core.DistOptions{
+			Procs: p, Sources: sources, Plan: &plan,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s model %.4fs  comm %.4fs  (%6.2f MB, %d msgs)\n",
+			plan, res.Stats.ModelSec, res.Stats.CommSec,
+			float64(res.Stats.MaxCost.Bytes)/1e6, res.Stats.MaxCost.Msgs)
+	}
+
+	// And the fully automatic run for reference.
+	auto, err := core.MFBCDistributed(g, core.DistOptions{Procs: p, Sources: sources})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nautomatic search chose %s: model %.4fs\n", auto.Plan, auto.Stats.ModelSec)
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/distmat"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+)
+
+// AblateCannon contrasts Cannon's point-to-point 2D algorithm (§5.2.2's
+// classical baseline) against the broadcast-based SUMMA variants and the
+// automatically chosen plan on a single frontier-style product T·A. Cannon
+// is cost-optimal for square operands but cannot exploit the nonzero
+// imbalance between a thin frontier and a square adjacency matrix — the
+// motivation for the paper's richer variant space.
+func AblateCannon(cfg Config) ([]Point, error) {
+	cfg.fill()
+	p := cfg.Procs[len(cfg.Procs)-1]
+	q := 1
+	for (q+1)*(q+1) <= p {
+		q++
+	}
+	p = q * q // Cannon needs a square processor count
+	fmt.Fprintf(cfg.Out, "\n== Ablation: Cannon vs broadcast-based SUMMA, one frontier product on p=%d ==\n", p)
+	fmt.Fprintf(cfg.Out, "%-22s %12s %12s %12s %12s\n", "algorithm", "W (MB)", "S (#msgs)", "comm (s)", "model (s)")
+
+	g, err := graph.Standin("orkut-sim", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nb := cfg.Batch
+	mp := algebra.MultPathMonoid()
+	trop := algebra.TropicalMonoid()
+	adjCSR := g.Adjacency()
+	adjCOO := adjCSR.ToCOO()
+	sources := sampleSources(g.N, nb, cfg.Seed)
+	frontier := buildFrontier(adjCSR, sources)
+
+	type variant struct {
+		name string
+		plan *spgemm.Plan // nil = Cannon
+	}
+	auto := spgemm.Search(p, spgemm.Problem{
+		M: nb, K: g.N, N: g.N,
+		NNZA: int64(frontier.NNZ()), NNZB: int64(adjCSR.NNZ()),
+		BytesA: 24, BytesB: 16, BytesC: 24,
+	}, machine.DefaultModel(), spgemm.AnyPlan)
+	variants := []variant{
+		{name: "cannon", plan: nil},
+		{name: "summa-AB " + planString(p, q, spgemm.VarAB), plan: &spgemm.Plan{P1: 1, P2: q, P3: q, X: spgemm.RoleA, YZ: spgemm.VarAB}},
+		{name: "summa-BC " + planString(p, q, spgemm.VarBC), plan: &spgemm.Plan{P1: 1, P2: q, P3: q, X: spgemm.RoleA, YZ: spgemm.VarBC}},
+		{name: "auto " + auto.String(), plan: &auto},
+	}
+
+	var pts []Point
+	for _, v := range variants {
+		mach := machine.New(p)
+		stats, err := mach.Run(func(proc *machine.Proc) {
+			sess := spgemm.NewSession(proc)
+			shard := distmat.DistShard(p)
+			f := distmat.FromGlobal(proc.Rank(), frontier, shard, mp)
+			a := distmat.FromGlobal(proc.Rank(), adjCOO, shard, trop)
+			if v.plan == nil {
+				spgemm.Cannon(sess, f, a, algebra.BFAction, mp, mp, trop)
+			} else {
+				spgemm.Multiply(sess, *v.plan, f, a, algebra.BFAction, mp, mp, trop, false)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: cannon ablation %s: %w", v.name, err)
+		}
+		pt := Point{
+			Experiment: "ablate-cannon", Graph: g.Name, Engine: v.name,
+			Procs: p, Batch: nb, N: g.N, M: g.M(),
+			ModelSec: stats.ModelSec, CommSec: stats.CommSec,
+			WallSec: stats.Wall.Seconds(),
+			Bytes:   stats.MaxCost.Bytes, Msgs: stats.MaxCost.Msgs,
+			MTEPSNode: mteps(g.AdjacencyNNZ(), nb, p, stats.ModelSec),
+		}
+		fmt.Fprintf(cfg.Out, "%-22s %12.3f %12d %12.5f %12.5f\n",
+			v.name, float64(pt.Bytes)/1e6, pt.Msgs, pt.CommSec, pt.ModelSec)
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+func planString(p, q int, v spgemm.Variant) string {
+	return fmt.Sprintf("1x%dx%d/%s", q, q, v)
+}
+
+// buildFrontier constructs the dense first-iteration MFBF frontier for the
+// sampled sources.
+func buildFrontier(adj *sparse.CSR[float64], sources []int32) *sparse.COO[algebra.MultPath] {
+	coo := sparse.NewCOO[algebra.MultPath](len(sources), adj.Cols)
+	for s, src := range sources {
+		cols, vals := adj.Row(int(src))
+		for k, v := range cols {
+			if v == src {
+				continue
+			}
+			coo.Append(int32(s), v, algebra.MultPath{W: vals[k], M: 1})
+		}
+	}
+	return coo
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// refDijkstra computes reference distances and multiplicities.
+func refDijkstra(g *graph.Graph, src int32) ([]float64, []float64) {
+	adj, wts := g.OutAdjacencyLists()
+	n := g.N
+	dist := make([]float64, n)
+	sigma := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	sigma[src] = 1
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.v] || it.d != dist[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for k, u := range adj[it.v] {
+			nd := it.d + wts[it.v][k]
+			if nd < dist[u] {
+				dist[u] = nd
+				sigma[u] = sigma[it.v]
+				heap.Push(pq, distItem{u, nd})
+			} else if nd == dist[u] && !done[u] {
+				sigma[u] += sigma[it.v]
+			}
+		}
+	}
+	return dist, sigma
+}
+
+type distItem struct {
+	v int32
+	d float64
+}
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func checkSSSP(t *testing.T, g *graph.Graph, res *SSSPResult) {
+	t.Helper()
+	for s, src := range res.Sources {
+		wantD, wantS := refDijkstra(g, src)
+		for v := 0; v < g.N; v++ {
+			if math.IsInf(wantD[v], 1) != math.IsInf(res.Dist[s][v], 1) {
+				t.Fatalf("%s: reachability mismatch at (%d,%d)", g.Name, src, v)
+			}
+			if !math.IsInf(wantD[v], 1) && wantD[v] != res.Dist[s][v] {
+				t.Fatalf("%s: dist(%d,%d)=%g want %g", g.Name, src, v, res.Dist[s][v], wantD[v])
+			}
+			if wantS[v] != res.Counts[s][v] && !(v == int(src)) {
+				t.Fatalf("%s: count(%d,%d)=%g want %g", g.Name, src, v, res.Counts[s][v], wantS[v])
+			}
+		}
+	}
+}
+
+func TestSSSPSequential(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RMAT(graph.DefaultRMAT(7, 6, 3)),
+		graph.Grid2D(6, 7, 9, 4),
+		graph.Uniform(90, 400, true, 5),
+	} {
+		res, err := SSSP(g, []int32{0, 3, int32(g.N - 1)})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		checkSSSP(t, g, res)
+		if res.Iterations == 0 {
+			t.Fatalf("%s: no iterations recorded", g.Name)
+		}
+	}
+}
+
+func TestSSSPDistributed(t *testing.T) {
+	g := graph.Grid2D(7, 7, 5, 8)
+	for _, p := range []int{1, 4, 6} {
+		res, stats, err := SSSPDistributed(g, []int32{1, 10, 25}, DistOptions{Procs: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		checkSSSP(t, g, res)
+		if p > 1 && stats.MaxCost.Bytes == 0 {
+			t.Fatalf("p=%d: no communication charged", p)
+		}
+	}
+}
+
+func TestSSSPValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := SSSP(g, nil); err == nil {
+		t.Fatal("no sources must fail")
+	}
+	if _, err := SSSP(g, []int32{99}); err == nil {
+		t.Fatal("out-of-range source must fail")
+	}
+}

@@ -1,0 +1,237 @@
+// Package distmat provides sparse matrices distributed over the simulated
+// machine: each processor holds the entries a distribution function assigns
+// to it (global coordinates), and redistribution between arbitrary
+// distributions is a single personalized all-to-all — the sparse-to-sparse
+// redistribution kernel of CTF (§6.2).
+package distmat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// Dist assigns every matrix coordinate to exactly one world rank. Key
+// identifies the distribution: matrices with equal keys have co-located
+// entries, the precondition for local elementwise operations.
+type Dist struct {
+	Key   string
+	P     int
+	Owner func(i, j int32) int
+}
+
+// Part computes the contiguous partition of n items into p parts (first
+// n%p parts one larger) and returns the part index of item i.
+func Part(i int32, n, p int) int {
+	q, r := n/p, n%p
+	big := int32(r * (q + 1))
+	if i < big {
+		return int(i) / (q + 1)
+	}
+	if q == 0 {
+		return p - 1
+	}
+	return r + (int(i)-int(big))/q
+}
+
+// PartBounds returns the [lo, hi) item range of part idx.
+func PartBounds(idx, n, p int) (int32, int32) {
+	q, r := n/p, n%p
+	if idx < r {
+		return int32(idx * (q + 1)), int32((idx + 1) * (q + 1))
+	}
+	lo := r*(q+1) + (idx-r)*q
+	return int32(lo), int32(lo + q)
+}
+
+// DistRowBlock splits rows into p contiguous blocks.
+func DistRowBlock(p, rows int) Dist {
+	return Dist{
+		Key:   fmt.Sprintf("rowblock(p=%d,rows=%d)", p, rows),
+		P:     p,
+		Owner: func(i, _ int32) int { return Part(i, rows, p) },
+	}
+}
+
+// DistColBlock splits columns into p contiguous blocks.
+func DistColBlock(p, cols int) Dist {
+	return Dist{
+		Key:   fmt.Sprintf("colblock(p=%d,cols=%d)", p, cols),
+		P:     p,
+		Owner: func(_, j int32) int { return Part(j, cols, p) },
+	}
+}
+
+// DistShard spreads entries pseudo-randomly (used as the neutral input
+// distribution before a plan-specific redistribution).
+func DistShard(p int) Dist {
+	return Dist{
+		Key: fmt.Sprintf("shard(p=%d)", p),
+		P:   p,
+		Owner: func(i, j int32) int {
+			h := uint64(uint32(i))*0x9E3779B1 ^ uint64(uint32(j))*0x85EBCA77
+			h ^= h >> 33
+			return int(h % uint64(p))
+		},
+	}
+}
+
+// Mat is one processor's view of a distributed sparse matrix: the entries
+// the distribution assigns to this rank, kept sorted by (row, col) and
+// duplicate-free.
+type Mat[T any] struct {
+	Rows, Cols int
+	Dist       Dist
+	Local      []sparse.Entry[T]
+}
+
+// FromGlobal builds this rank's piece of a globally known COO matrix (the
+// generator-replication input convention; no communication is charged, as
+// the paper's benchmarks exclude graph load time).
+func FromGlobal[T any](rank int, coo *sparse.COO[T], d Dist, m algebra.Monoid[T]) *Mat[T] {
+	c := coo.Clone()
+	c.Canonicalize(m)
+	out := &Mat[T]{Rows: coo.Rows, Cols: coo.Cols, Dist: d}
+	for _, e := range c.E {
+		if d.Owner(e.I, e.J) == rank {
+			out.Local = append(out.Local, e)
+		}
+	}
+	return out
+}
+
+// SortLocal canonicalizes the local entries with the monoid.
+func (m *Mat[T]) SortLocal(mon algebra.Monoid[T]) {
+	c := sparse.COO[T]{Rows: m.Rows, Cols: m.Cols, E: m.Local}
+	c.Canonicalize(mon)
+	m.Local = c.E
+}
+
+// LocalNNZ returns the number of locally held entries.
+func (m *Mat[T]) LocalNNZ() int { return len(m.Local) }
+
+// GlobalNNZ sums entry counts over the communicator.
+func GlobalNNZ[T any](c *machine.Comm, m *Mat[T]) int64 {
+	return machine.AllreduceScalar(c, int64(len(m.Local)), func(a, b int64) int64 { return a + b })
+}
+
+// Redistribute moves m into distribution `to` with one all-to-all. A no-op
+// (returning m) when the keys already match.
+func Redistribute[T any](c *machine.Comm, m *Mat[T], to Dist, mon algebra.Monoid[T]) *Mat[T] {
+	if m.Dist.Key == to.Key {
+		return m
+	}
+	parts := make([][]sparse.Entry[T], c.Size())
+	for _, e := range m.Local {
+		r := to.Owner(e.I, e.J)
+		parts[r] = append(parts[r], e)
+	}
+	got := machine.AlltoallConcat(c, parts)
+	out := &Mat[T]{Rows: m.Rows, Cols: m.Cols, Dist: to, Local: got}
+	out.SortLocal(mon)
+	c.Proc().AddFlops(int64(len(got)))
+	return out
+}
+
+// Gather collects the full matrix at every rank (a debugging/verification
+// helper; cost charged as an allgather).
+func Gather[T any](c *machine.Comm, m *Mat[T], mon algebra.Monoid[T]) *sparse.CSR[T] {
+	all := machine.AllgatherConcat(c, m.Local)
+	coo := &sparse.COO[T]{Rows: m.Rows, Cols: m.Cols, E: all}
+	return sparse.FromCOO(coo, mon)
+}
+
+// EWise merges two identically distributed matrices with the monoid.
+func EWise[T any](a, b *Mat[T], mon algebra.Monoid[T]) *Mat[T] {
+	if a.Dist.Key != b.Dist.Key || a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("distmat: ewise on mismatched matrices (%s vs %s)", a.Dist.Key, b.Dist.Key))
+	}
+	out := &Mat[T]{Rows: a.Rows, Cols: a.Cols, Dist: a.Dist}
+	out.Local = MergeSorted(a.Local, b.Local, mon)
+	return out
+}
+
+// MergeSorted merges two sorted duplicate-free entry slices, combining
+// coordinate collisions with the monoid and dropping zeros.
+func MergeSorted[T any](a, b []sparse.Entry[T], mon algebra.Monoid[T]) []sparse.Entry[T] {
+	out := make([]sparse.Entry[T], 0, len(a)+len(b))
+	x, y := 0, 0
+	for x < len(a) || y < len(b) {
+		switch {
+		case y >= len(b) || (x < len(a) && less(a[x], b[y])):
+			out = append(out, a[x])
+			x++
+		case x >= len(a) || less(b[y], a[x]):
+			out = append(out, b[y])
+			y++
+		default:
+			v := mon.Op(a[x].V, b[y].V)
+			if !mon.IsZero(v) {
+				out = append(out, sparse.Entry[T]{I: a[x].I, J: a[x].J, V: v})
+			}
+			x++
+			y++
+		}
+	}
+	return out
+}
+
+func less[T any](a, b sparse.Entry[T]) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// Filter keeps local entries satisfying the predicate.
+func (m *Mat[T]) Filter(keep func(i, j int32, v T) bool) *Mat[T] {
+	out := &Mat[T]{Rows: m.Rows, Cols: m.Cols, Dist: m.Dist}
+	for _, e := range m.Local {
+		if keep(e.I, e.J, e.V) {
+			out.Local = append(out.Local, e)
+		}
+	}
+	return out
+}
+
+// Map transforms local entries, dropping zeros of the target monoid.
+func Map[T, U any](m *Mat[T], mon algebra.Monoid[U], fn func(i, j int32, v T) U) *Mat[U] {
+	out := &Mat[U]{Rows: m.Rows, Cols: m.Cols, Dist: m.Dist}
+	for _, e := range m.Local {
+		u := fn(e.I, e.J, e.V)
+		if !mon.IsZero(u) {
+			out.Local = append(out.Local, sparse.Entry[U]{I: e.I, J: e.J, V: u})
+		}
+	}
+	return out
+}
+
+// ZipJoin visits coordinates present in both identically distributed
+// matrices.
+func ZipJoin[T, U any](a *Mat[T], b *Mat[U], visit func(i, j int32, x T, y U)) {
+	if a.Dist.Key != b.Dist.Key {
+		panic("distmat: zipjoin on mismatched distributions")
+	}
+	x, y := 0, 0
+	for x < len(a.Local) && y < len(b.Local) {
+		ea, eb := a.Local[x], b.Local[y]
+		switch {
+		case ea.I < eb.I || (ea.I == eb.I && ea.J < eb.J):
+			x++
+		case eb.I < ea.I || (eb.I == ea.I && eb.J < ea.J):
+			y++
+		default:
+			visit(ea.I, ea.J, ea.V, eb.V)
+			x++
+			y++
+		}
+	}
+}
+
+// SortEntries sorts an entry slice by coordinates (no merging).
+func SortEntries[T any](e []sparse.Entry[T]) {
+	sort.Slice(e, func(a, b int) bool { return less(e[a], e[b]) })
+}

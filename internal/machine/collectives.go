@@ -1,0 +1,368 @@
+package machine
+
+import (
+	"sort"
+	"unsafe"
+)
+
+// bytesOf estimates the wire size of n elements of type T. Element types
+// used on the wire are flat structs (no internal pointers), so Sizeof is
+// exact up to padding.
+func bytesOf[T any](n int) int64 {
+	var zero T
+	return int64(n) * int64(unsafe.Sizeof(zero))
+}
+
+// exchange runs one BSP superstep: every member posts its contribution and
+// its current critical-path cost, the barrier flips, read() consumes peer
+// contributions, a second barrier protects slot reuse, and finally each
+// member's cost becomes the group maximum plus its own opCost. The opCost
+// callback sees the group size so charges can follow the §5.1 formulas.
+func exchange[T any](c *Comm, post T, read func(slots []any)) Cost {
+	st := c.state
+	st.slots[c.rank] = post
+	st.costs[c.rank] = c.proc.cost
+	st.bar.await()
+	read(st.slots)
+	group := Cost{}
+	for _, pc := range st.costs {
+		group = group.Max(pc)
+	}
+	st.bar.await()
+	return group
+}
+
+// commCost returns the charge for a collective, which is free on a
+// single-member communicator (self-communication costs nothing in the
+// α–β model).
+func commCost(size int, c Cost) Cost {
+	if size <= 1 {
+		return Cost{Flops: c.Flops}
+	}
+	return c
+}
+
+// Barrier synchronizes the group, charging ⌈log₂p⌉ latency.
+func Barrier(c *Comm) {
+	group := exchange(c, struct{}{}, func([]any) {})
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Msgs: logMsgs(c.Size())}))
+}
+
+// Bcast broadcasts root's data to every member. Cost per the paper's
+// Table-3 model: 2xβ + 2⌈log₂p⌉α with x the message size.
+func Bcast[T any](c *Comm, root int, data []T) []T {
+	var out []T
+	group := exchange(c, data, func(slots []any) {
+		src := slots[root].([]T)
+		if c.rank == root {
+			out = data
+			return
+		}
+		out = make([]T, len(src))
+		copy(out, src)
+	})
+	x := bytesOf[T](len(out))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: 2 * x, Msgs: 2 * logMsgs(c.Size())}))
+	return out
+}
+
+// Allgather returns every member's contribution, in rank order.
+// Cost: xβ + ⌈log₂p⌉α with x the total gathered size.
+func Allgather[T any](c *Comm, data []T) [][]T {
+	out := make([][]T, c.Size())
+	total := 0
+	group := exchange(c, data, func(slots []any) {
+		for i := range out {
+			src := slots[i].([]T)
+			total += len(src)
+			if i == c.rank {
+				out[i] = data
+				continue
+			}
+			cp := make([]T, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	return out
+}
+
+// AllgatherConcat is Allgather flattened into one slice.
+func AllgatherConcat[T any](c *Comm, data []T) []T {
+	parts := Allgather(c, data)
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Gather collects every member's contribution at root (others get nil).
+// Cost: xβ + ⌈log₂p⌉α with x the total gathered size.
+func Gather[T any](c *Comm, root int, data []T) [][]T {
+	var out [][]T
+	total := 0
+	group := exchange(c, data, func(slots []any) {
+		for i := range slots {
+			total += len(slots[i].([]T))
+		}
+		if c.rank != root {
+			return
+		}
+		out = make([][]T, c.Size())
+		for i := range out {
+			src := slots[i].([]T)
+			if i == c.rank {
+				out[i] = data
+				continue
+			}
+			cp := make([]T, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	return out
+}
+
+// Scatter distributes root's parts (len == group size); member i receives
+// parts[i]. Cost: xβ + ⌈log₂p⌉α with x the total scattered size.
+func Scatter[T any](c *Comm, root int, parts [][]T) []T {
+	var out []T
+	total := 0
+	group := exchange(c, parts, func(slots []any) {
+		src := slots[root].([][]T)
+		for _, p := range src {
+			total += len(p)
+		}
+		mine := src[c.rank]
+		out = make([]T, len(mine))
+		copy(out, mine)
+	})
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	return out
+}
+
+// Allreduce combines equal-length vectors elementwise with op; every member
+// receives the result. Cost: 2xβ + 2⌈log₂p⌉α.
+func Allreduce[T any](c *Comm, data []T, op func(T, T) T) []T {
+	var out []T
+	group := exchange(c, data, func(slots []any) {
+		out = make([]T, len(data))
+		copy(out, data)
+		for i := 0; i < c.Size(); i++ {
+			if i == c.rank {
+				continue
+			}
+			src := slots[i].([]T)
+			for k := range out {
+				out[k] = op(out[k], src[k])
+			}
+		}
+	})
+	x := bytesOf[T](len(out))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{
+		Bytes: 2 * x,
+		Msgs:  2 * logMsgs(c.Size()),
+		Flops: int64(len(out)) * logMsgs(c.Size()),
+	}))
+	return out
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func AllreduceScalar[T any](c *Comm, v T, op func(T, T) T) T {
+	return Allreduce(c, []T{v}, op)[0]
+}
+
+// ReduceSlices performs a sparse reduction: every member contributes a
+// variable-length slice, combine folds two slices into one (e.g. a sorted
+// merge that sums duplicates), and root receives the fold (others nil).
+// Cost per the paper's sparse-reduction bound: 2xβ + 2⌈log₂p⌉α with x the
+// *output* size, plus the fold work as flops.
+func ReduceSlices[T any](c *Comm, root int, data []T, combine func(a, b []T) []T) []T {
+	var out []T
+	var inTotal int
+	group := exchange(c, data, func(slots []any) {
+		for i := range slots {
+			inTotal += len(slots[i].([]T))
+		}
+		if c.rank != root {
+			return
+		}
+		// Tree-order fold for deterministic association.
+		parts := make([][]T, c.Size())
+		for i := range parts {
+			src := slots[i].([]T)
+			cp := make([]T, len(src))
+			copy(cp, src)
+			parts[i] = cp
+		}
+		for len(parts) > 1 {
+			var next [][]T
+			for i := 0; i+1 < len(parts); i += 2 {
+				next = append(next, combine(parts[i], parts[i+1]))
+			}
+			if len(parts)%2 == 1 {
+				next = append(next, parts[len(parts)-1])
+			}
+			parts = next
+		}
+		out = parts[0]
+	})
+	outLen := len(out)
+	// Non-roots charge the same modeled cost: they participated in the tree.
+	outBytes := bytesOf[T](outLen)
+	if c.rank != root {
+		outBytes = bytesOf[T](inTotal) / int64(max(1, c.Size()))
+	}
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{
+		Bytes: 2 * outBytes,
+		Msgs:  2 * logMsgs(c.Size()),
+		Flops: int64(inTotal),
+	}))
+	return out
+}
+
+// Alltoall performs personalized all-to-all: member i's parts[j] is
+// delivered to member j; the return value holds, per source rank, the slice
+// it sent here. Cost per member: max(sent, received)·β + ⌈log₂p⌉α.
+func Alltoall[T any](c *Comm, parts [][]T) [][]T {
+	if len(parts) != c.Size() {
+		c.state.machine.fail(errAlltoallShape{len(parts), c.Size()})
+		panic(abortError{reason: "alltoall parts/size mismatch"})
+	}
+	out := make([][]T, c.Size())
+	sent, recv := 0, 0
+	group := exchange(c, parts, func(slots []any) {
+		for _, p := range parts {
+			sent += len(p)
+		}
+		for i := 0; i < c.Size(); i++ {
+			src := slots[i].([][]T)[c.rank]
+			recv += len(src)
+			if i == c.rank {
+				out[i] = parts[c.rank]
+				continue
+			}
+			cp := make([]T, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	x := sent
+	if recv > x {
+		x = recv
+	}
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](x), Msgs: logMsgs(c.Size())}))
+	return out
+}
+
+// AlltoallConcat flattens Alltoall output into one slice ordered by source
+// rank.
+func AlltoallConcat[T any](c *Comm, parts [][]T) []T {
+	got := Alltoall(c, parts)
+	n := 0
+	for _, p := range got {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range got {
+		out = append(out, p...)
+	}
+	return out
+}
+
+type errAlltoallShape [2]int
+
+func (e errAlltoallShape) Error() string {
+	return "machine: alltoall called with wrong number of parts"
+}
+
+// SendRecv performs a simultaneous point-to-point exchange: every member
+// names a destination and a source (a permutation, e.g. a Cannon shift) and
+// receives the data the source addressed to it. Cost: α + β·bytes received,
+// the point-to-point term of Cannon's algorithm (§5.2.2).
+func SendRecv[T any](c *Comm, dst, src int, data []T) []T {
+	type addressed struct {
+		to   int
+		data []T
+	}
+	var out []T
+	group := exchange(c, addressed{to: dst, data: data}, func(slots []any) {
+		msg := slots[src].(addressed)
+		if msg.to != c.rank {
+			c.state.machine.fail(errPointToPoint{from: src, want: c.rank, got: msg.to})
+			panic(abortError{reason: "mismatched send/recv pairing"})
+		}
+		out = make([]T, len(msg.data))
+		copy(out, msg.data)
+	})
+	charge := Cost{Bytes: bytesOf[T](len(out)), Msgs: 1}
+	if dst == c.rank && src == c.rank {
+		charge = Cost{}
+	}
+	c.proc.cost = group.Add(charge)
+	return out
+}
+
+type errPointToPoint struct{ from, want, got int }
+
+func (e errPointToPoint) Error() string {
+	return "machine: sendrecv pairing mismatch"
+}
+
+// Split partitions the communicator by color, MPI_Comm_split style: members
+// with equal color form a new communicator, ranked by (key, old rank). The
+// bookkeeping exchange is charged as a small allgather.
+func Split(c *Comm, color, key int) *Comm {
+	type info struct{ Color, Key, Rank int }
+	st := c.state
+	// Phase 1: share (color, key).
+	mine := info{Color: color, Key: key, Rank: c.rank}
+	st.slots[c.rank] = mine
+	st.costs[c.rank] = c.proc.cost
+	st.bar.await()
+	all := make([]info, st.size)
+	for i := range all {
+		all[i] = st.slots[i].(info)
+	}
+	group := Cost{}
+	for _, pc := range st.costs {
+		group = group.Max(pc)
+	}
+	st.bar.await()
+	// Everyone derives the same grouping.
+	var members []info
+	for _, in := range all {
+		if in.Color == color {
+			members = append(members, in)
+		}
+	}
+	sort.Slice(members, func(a, b int) bool {
+		if members[a].Key != members[b].Key {
+			return members[a].Key < members[b].Key
+		}
+		return members[a].Rank < members[b].Rank
+	})
+	newRank := 0
+	for i, in := range members {
+		if in.Rank == c.rank {
+			newRank = i
+		}
+	}
+	leader := members[0].Rank
+	// Phase 2: the leader allocates shared state; members pick it up.
+	if c.rank == leader {
+		st.aux[c.rank] = newCommState(st.machine, len(members))
+	}
+	st.bar.await()
+	newState := st.aux[leader].(*commState)
+	st.bar.await()
+	c.proc.cost = group.Add(commCost(st.size, Cost{Bytes: int64(24 * st.size), Msgs: logMsgs(st.size)}))
+	return &Comm{state: newState, rank: newRank, proc: c.proc}
+}

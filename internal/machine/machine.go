@@ -1,0 +1,278 @@
+// Package machine simulates the distributed-memory machine of the paper on
+// shared memory: p virtual processors run as goroutines and communicate
+// exclusively through bulk-synchronous collectives (broadcast, reduce,
+// allreduce, gather, allgather, scatter, all-to-all, and sparse reductions),
+// the same collective set the paper's §5.1 cost model covers.
+//
+// Every collective moves real data (callers never alias each other's
+// buffers) and charges an α–β model cost to each participant's critical
+// path, following the paper's measurement methodology (§7.4): "for each
+// collective over a set of processors, we maximize the critical path costs
+// incurred by those processors so far", then add the collective's own cost.
+// Broadcast and reduce of x bytes over p processors cost 2xβ + 2⌈log₂p⌉α
+// (twice scatter/allgather), matching the Table-3 model.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// CostModel holds the machine constants of the α–β–γ model.
+type CostModel struct {
+	Alpha float64 // seconds per message on the critical path
+	Beta  float64 // seconds per byte
+	Gamma float64 // seconds per scalar operation (generalized flop)
+}
+
+// DefaultModel approximates the paper's Cray Gemini interconnect and a
+// node-level effective rate for sparse monoid operations.
+func DefaultModel() CostModel {
+	return CostModel{
+		Alpha: 1.5e-6,      // ~1.5 µs per message
+		Beta:  1.0 / 5.8e9, // ~5.8 GB/s injection bandwidth
+		Gamma: 2.0e-9,      // ~0.5 Gop/s effective on sparse monoid kernels
+	}
+}
+
+// Cost is a critical-path cost vector.
+type Cost struct {
+	Bytes int64 // words communicated (in bytes) along the critical path
+	Msgs  int64 // messages (latency units) along the critical path
+	Flops int64 // generalized operations along the critical path
+}
+
+// Add returns c + o componentwise.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{Bytes: c.Bytes + o.Bytes, Msgs: c.Msgs + o.Msgs, Flops: c.Flops + o.Flops}
+}
+
+// Max returns the componentwise maximum, the critical-path join.
+func (c Cost) Max(o Cost) Cost {
+	if o.Bytes > c.Bytes {
+		c.Bytes = o.Bytes
+	}
+	if o.Msgs > c.Msgs {
+		c.Msgs = o.Msgs
+	}
+	if o.Flops > c.Flops {
+		c.Flops = o.Flops
+	}
+	return c
+}
+
+// Time converts the cost vector to modeled seconds.
+func (c Cost) Time(m CostModel) float64 {
+	return float64(c.Msgs)*m.Alpha + float64(c.Bytes)*m.Beta + float64(c.Flops)*m.Gamma
+}
+
+// CommTime converts only the communication components to modeled seconds.
+func (c Cost) CommTime(m CostModel) float64 {
+	return float64(c.Msgs)*m.Alpha + float64(c.Bytes)*m.Beta
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("{bytes=%d msgs=%d flops=%d}", c.Bytes, c.Msgs, c.Flops)
+}
+
+// Machine is a simulated distributed machine of P processors.
+type Machine struct {
+	P       int
+	Model   CostModel
+	Timeout time.Duration // per-barrier watchdog; 0 disables
+
+	abortOnce sync.Once
+	abort     chan struct{}
+	failMu    sync.Mutex
+	failErr   error
+}
+
+// New creates a machine with p processors and the default cost model.
+func New(p int) *Machine {
+	if p < 1 {
+		panic("machine: need at least one processor")
+	}
+	return &Machine{P: p, Model: DefaultModel(), Timeout: 2 * time.Minute, abort: make(chan struct{})}
+}
+
+type abortError struct{ reason string }
+
+func (e abortError) Error() string { return "machine: aborted: " + e.reason }
+
+// fail records the first failure and poisons every barrier so that all
+// processors unwind instead of deadlocking.
+func (m *Machine) fail(err error) {
+	m.failMu.Lock()
+	if m.failErr == nil {
+		m.failErr = err
+	}
+	m.failMu.Unlock()
+	m.abortOnce.Do(func() { close(m.abort) })
+}
+
+// RunStats aggregates a run's outcome.
+type RunStats struct {
+	MaxCost  Cost          // componentwise max over processors (critical path)
+	PerProc  []Cost        // final cost vector of each processor
+	Wall     time.Duration // host wall-clock time of the region
+	ModelSec float64       // MaxCost.Time(model)
+	CommSec  float64       // MaxCost.CommTime(model)
+}
+
+// Run executes fn on every processor concurrently and reports critical-path
+// statistics. A panic on any processor aborts the whole machine and is
+// returned as an error.
+func (m *Machine) Run(fn func(p *Proc)) (RunStats, error) {
+	world := newCommState(m, m.P)
+	procs := make([]*Proc, m.P)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < m.P; r++ {
+		p := &Proc{rank: r, machine: m}
+		p.world = &Comm{state: world, rank: r, proc: p}
+		procs[r] = p
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, ok := r.(abortError); ok {
+						m.fail(ab)
+						return
+					}
+					m.fail(fmt.Errorf("machine: proc %d panicked: %v\n%s", p.rank, r, debug.Stack()))
+				}
+			}()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+	stats := RunStats{Wall: time.Since(start), PerProc: make([]Cost, m.P)}
+	for r, p := range procs {
+		stats.PerProc[r] = p.cost
+		stats.MaxCost = stats.MaxCost.Max(p.cost)
+	}
+	stats.ModelSec = stats.MaxCost.Time(m.Model)
+	stats.CommSec = stats.MaxCost.CommTime(m.Model)
+	m.failMu.Lock()
+	err := m.failErr
+	m.failMu.Unlock()
+	return stats, err
+}
+
+// Proc is one virtual processor's handle.
+type Proc struct {
+	rank    int
+	machine *Machine
+	world   *Comm
+	cost    Cost
+}
+
+// Rank returns the processor's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// World returns the communicator spanning all processors.
+func (p *Proc) World() *Comm { return p.world }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.machine }
+
+// AddFlops charges local computation to the critical path.
+func (p *Proc) AddFlops(n int64) { p.cost.Flops += n }
+
+// Cost returns the processor's critical-path cost so far.
+func (p *Proc) Cost() Cost { return p.cost }
+
+// Comm is a communicator: one processor's view of a process group.
+type Comm struct {
+	state *commState
+	rank  int
+	proc  *Proc
+}
+
+// Rank returns this processor's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Proc returns the owning processor handle.
+func (c *Comm) Proc() *Proc { return c.proc }
+
+// Size returns the number of group members.
+func (c *Comm) Size() int { return c.state.size }
+
+type commState struct {
+	machine *Machine
+	size    int
+	slots   []any
+	aux     []any
+	costs   []Cost
+	bar     *barrier
+}
+
+func newCommState(m *Machine, size int) *commState {
+	return &commState{
+		machine: m,
+		size:    size,
+		slots:   make([]any, size),
+		aux:     make([]any, size),
+		costs:   make([]Cost, size),
+		bar:     newBarrier(m, size),
+	}
+}
+
+// barrier is a reusable sense-reversing barrier with abort and watchdog
+// support, the synchronization backbone of every collective.
+type barrier struct {
+	machine *Machine
+	mu      sync.Mutex
+	n       int
+	count   int
+	gen     chan struct{}
+}
+
+func newBarrier(m *Machine, n int) *barrier {
+	return &barrier{machine: m, n: n, gen: make(chan struct{})}
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	ch := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen = make(chan struct{})
+		close(ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	if b.machine.Timeout <= 0 {
+		select {
+		case <-ch:
+		case <-b.machine.abort:
+			panic(abortError{reason: "peer failure"})
+		}
+		return
+	}
+	timer := time.NewTimer(b.machine.Timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+	case <-b.machine.abort:
+		panic(abortError{reason: "peer failure"})
+	case <-timer.C:
+		err := fmt.Errorf("machine: barrier timeout after %v (collective deadlock: mismatched collective calls across ranks?)", b.machine.Timeout)
+		b.machine.fail(err)
+		panic(abortError{reason: err.Error()})
+	}
+}
+
+// logMsgs is the ⌈log₂ p⌉ latency term of tree-based collectives.
+func logMsgs(p int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	return int64(math.Ceil(math.Log2(float64(p))))
+}

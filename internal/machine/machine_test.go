@@ -1,0 +1,331 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		m := New(p)
+		stats, err := m.Run(func(pr *Proc) {
+			var data []int
+			if pr.Rank() == 0 {
+				data = []int{10, 20, 30}
+			}
+			got := Bcast(pr.World(), 0, data)
+			if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+				panic(fmt.Sprintf("rank %d got %v", pr.Rank(), got))
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		wantBytes := int64(2 * 3 * 8)
+		if p == 1 {
+			wantBytes = 0 // self-communication is free
+		}
+		if stats.MaxCost.Bytes != wantBytes {
+			t.Fatalf("p=%d: bcast charged %d bytes, want %d", p, stats.MaxCost.Bytes, wantBytes)
+		}
+		if p > 1 && stats.MaxCost.Msgs != 2*logMsgs(p) {
+			t.Fatalf("p=%d: bcast charged %d msgs, want %d", p, stats.MaxCost.Msgs, 2*logMsgs(p))
+		}
+	}
+}
+
+func TestAllgatherAndGather(t *testing.T) {
+	m := New(5)
+	_, err := m.Run(func(pr *Proc) {
+		data := []int{pr.Rank(), pr.Rank() * 10}
+		all := Allgather(pr.World(), data)
+		for i, part := range all {
+			if part[0] != i || part[1] != i*10 {
+				panic("allgather wrong content")
+			}
+		}
+		root := Gather(pr.World(), 2, data)
+		if pr.Rank() == 2 {
+			if len(root) != 5 || root[4][1] != 40 {
+				panic("gather wrong content at root")
+			}
+		} else if root != nil {
+			panic("gather leaked data to non-root")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	m := New(6)
+	_, err := m.Run(func(pr *Proc) {
+		v := Allreduce(pr.World(), []float64{float64(pr.Rank()), 1}, func(a, b float64) float64 { return a + b })
+		if v[0] != 15 || v[1] != 6 {
+			panic(fmt.Sprintf("allreduce got %v", v))
+		}
+		s := AllreduceScalar(pr.World(), pr.Rank(), func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if s != 5 {
+			panic("allreduce max wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	m := New(3)
+	_, err := m.Run(func(pr *Proc) {
+		var parts [][]int
+		if pr.Rank() == 1 {
+			parts = [][]int{{0}, {1, 1}, {2, 2, 2}}
+		}
+		got := Scatter(pr.World(), 1, parts)
+		if len(got) != pr.Rank()+1 {
+			panic("scatter wrong size")
+		}
+		for _, v := range got {
+			if v != pr.Rank() {
+				panic("scatter wrong content")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	m := New(4)
+	_, err := m.Run(func(pr *Proc) {
+		parts := make([][]int, 4)
+		for j := range parts {
+			parts[j] = []int{pr.Rank()*10 + j}
+		}
+		got := Alltoall(pr.World(), parts)
+		for i, part := range got {
+			if len(part) != 1 || part[0] != i*10+pr.Rank() {
+				panic(fmt.Sprintf("alltoall rank %d from %d: %v", pr.Rank(), i, part))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSlices(t *testing.T) {
+	merge := func(a, b []int) []int {
+		out := append(append([]int{}, a...), b...)
+		sort.Ints(out)
+		return out
+	}
+	m := New(4)
+	_, err := m.Run(func(pr *Proc) {
+		data := []int{pr.Rank(), pr.Rank() + 100}
+		got := ReduceSlices(pr.World(), 0, data, merge)
+		if pr.Rank() == 0 {
+			want := []int{0, 1, 2, 3, 100, 101, 102, 103}
+			if len(got) != len(want) {
+				panic("reduceslices wrong length")
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					panic("reduceslices wrong content")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitAndGrids(t *testing.T) {
+	m := New(12)
+	_, err := m.Run(func(pr *Proc) {
+		g := NewGrid2(pr.World(), 3, 4)
+		if g.Row.Size() != 4 || g.Col.Size() != 3 {
+			panic("grid2 comm sizes wrong")
+		}
+		if g.Row.Rank() != g.MyC || g.Col.Rank() != g.MyR {
+			panic("grid2 sub-ranks wrong")
+		}
+		// Row-wise sum of ranks must equal the row's world-rank sum.
+		sum := AllreduceScalar(g.Row, pr.Rank(), func(a, b int) int { return a + b })
+		want := 0
+		for j := 0; j < 4; j++ {
+			want += g.RankAt(g.MyR, j)
+		}
+		if sum != want {
+			panic("row communicator grouped wrong members")
+		}
+
+		g3 := NewGrid3(pr.World(), 3, 2, 2)
+		if g3.Layer.Size() != 4 || g3.Fiber.Size() != 3 {
+			panic("grid3 comm sizes wrong")
+		}
+		lsum := AllreduceScalar(g3.Fiber, g3.MyLayer, func(a, b int) int { return a + b })
+		if lsum != 0+1+2 {
+			panic("fiber communicator grouped wrong members")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathMax(t *testing.T) {
+	// One processor does extra flops; after a barrier everyone's critical
+	// path must include them.
+	m := New(4)
+	stats, err := m.Run(func(pr *Proc) {
+		if pr.Rank() == 2 {
+			pr.AddFlops(1000)
+		}
+		Barrier(pr.World())
+		if pr.Cost().Flops < 1000 {
+			panic("critical path did not absorb the slow rank")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxCost.Flops < 1000 {
+		t.Fatal("run stats lost flops")
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	m := New(4)
+	_, err := m.Run(func(pr *Proc) {
+		if pr.Rank() == 3 {
+			panic("injected failure")
+		}
+		// Other ranks wait on a collective; the abort must free them.
+		Barrier(pr.World())
+	})
+	if err == nil {
+		t.Fatal("expected the injected panic to surface")
+	}
+}
+
+func TestDeadlockWatchdog(t *testing.T) {
+	m := New(2)
+	m.Timeout = 50 * time.Millisecond
+	_, err := m.Run(func(pr *Proc) {
+		if pr.Rank() == 0 {
+			Barrier(pr.World()) // rank 1 never shows up: mismatched collective
+		}
+	})
+	if err == nil {
+		t.Fatal("expected watchdog to flag the deadlock")
+	}
+	var ab abortError
+	if !errors.As(err, &ab) && err == nil {
+		t.Fatal("unexpected error type")
+	}
+}
+
+func TestFactorizations(t *testing.T) {
+	f3 := Factorizations3(12)
+	seen := map[[3]int]bool{}
+	for _, f := range f3 {
+		if f[0]*f[1]*f[2] != 12 {
+			t.Fatalf("bad factorization %v", f)
+		}
+		if seen[f] {
+			t.Fatalf("duplicate factorization %v", f)
+		}
+		seen[f] = true
+	}
+	if !seen[[3]int{1, 3, 4}] || !seen[[3]int{12, 1, 1}] {
+		t.Fatal("missing expected factorizations")
+	}
+	if got := len(Factorizations2(16)); got != 5 {
+		t.Fatalf("Factorizations2(16) = %d, want 5", got)
+	}
+	if LCM(4, 6) != 12 || GCD(12, 18) != 6 {
+		t.Fatal("lcm/gcd wrong")
+	}
+}
+
+func TestSingleProcDegenerate(t *testing.T) {
+	m := New(1)
+	_, err := m.Run(func(pr *Proc) {
+		if got := Bcast(pr.World(), 0, []int{7}); got[0] != 7 {
+			panic("p=1 bcast")
+		}
+		if got := AllgatherConcat(pr.World(), []int{1, 2}); len(got) != 2 {
+			panic("p=1 allgather")
+		}
+		if got := AlltoallConcat(pr.World(), [][]int{{9}}); got[0] != 9 {
+			panic("p=1 alltoall")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateModel(t *testing.T) {
+	base := DefaultModel()
+	tuned := CalibrateModel(base)
+	if tuned.Alpha != base.Alpha || tuned.Beta != base.Beta {
+		t.Fatal("calibration must not touch the interconnect constants")
+	}
+	if tuned.Gamma <= 0 || tuned.Gamma > 1e-6 {
+		t.Fatalf("implausible fitted gamma %g", tuned.Gamma)
+	}
+	// The fit must be stable within an order of magnitude across runs.
+	again := CalibrateModel(base)
+	ratio := tuned.Gamma / again.Gamma
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("unstable calibration: %g vs %g", tuned.Gamma, again.Gamma)
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	m := New(5)
+	_, err := m.Run(func(pr *Proc) {
+		right := (pr.Rank() + 1) % 5
+		left := (pr.Rank() + 4) % 5
+		got := SendRecv(pr.World(), right, left, []int{pr.Rank()})
+		if len(got) != 1 || got[0] != left {
+			panic("ring shift delivered wrong data")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostTimeConversions(t *testing.T) {
+	model := CostModel{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9}
+	c := Cost{Bytes: 1000, Msgs: 10, Flops: 500}
+	wantComm := 10*1e-6 + 1000*1e-9
+	if got := c.CommTime(model); got != wantComm {
+		t.Fatalf("comm time %g want %g", got, wantComm)
+	}
+	if got := c.Time(model); got != wantComm+500*1e-9 {
+		t.Fatalf("total time %g", got)
+	}
+	a := Cost{Bytes: 5, Msgs: 20, Flops: 1}
+	mx := c.Max(a)
+	if mx.Bytes != 1000 || mx.Msgs != 20 || mx.Flops != 500 {
+		t.Fatalf("max wrong: %v", mx)
+	}
+	if c.Add(a).Bytes != 1005 {
+		t.Fatal("add wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// CalibrateModel is the analogue of CTF's automatic model tuner (§6.2):
+// it executes a set of representative kernel benchmarks on the host and
+// fits the γ (seconds per generalized operation) constant of the cost
+// model, so that modeled times of compute-bound phases track this machine.
+// The α and β interconnect constants are properties of the *modeled*
+// network (Gemini-like by default) and are left untouched — on a real
+// cluster they would come from link-level benchmarks instead.
+//
+// The fit runs three microkernels that dominate the library's compute
+// time — sorted-merge accumulation, hash-free SPA row products, and
+// comparison-heavy monoid folds — and takes the median per-op time.
+func CalibrateModel(base CostModel) CostModel {
+	samples := []float64{
+		timePerOp(mergeKernel),
+		timePerOp(productKernel),
+		timePerOp(foldKernel),
+	}
+	sort.Float64s(samples)
+	gamma := samples[len(samples)/2]
+	if gamma <= 0 {
+		return base
+	}
+	out := base
+	out.Gamma = gamma
+	return out
+}
+
+const tuneN = 1 << 16
+
+// timePerOp runs the kernel enough times to exceed ~2ms and returns
+// seconds per reported operation.
+func timePerOp(kernel func(rng *rand.Rand) int64) float64 {
+	rng := rand.New(rand.NewSource(99))
+	var ops int64
+	start := time.Now()
+	for time.Since(start) < 2*time.Millisecond {
+		ops += kernel(rng)
+	}
+	elapsed := time.Since(start).Seconds()
+	if ops == 0 {
+		return 0
+	}
+	return elapsed / float64(ops)
+}
+
+// mergeKernel models EWise/MergeSorted: a two-pointer merge of sorted runs.
+func mergeKernel(rng *rand.Rand) int64 {
+	a := make([]int64, tuneN/2)
+	b := make([]int64, tuneN/2)
+	for i := range a {
+		a[i] = int64(2 * i)
+		b[i] = int64(2*i + rng.Intn(3))
+	}
+	out := make([]int64, 0, tuneN)
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		if a[x] <= b[y] {
+			out = append(out, a[x])
+			x++
+		} else {
+			out = append(out, b[y])
+			y++
+		}
+	}
+	return int64(len(out))
+}
+
+// productKernel models the inner loop of the generalized SpGEMM: load two
+// operands, combine, accumulate into a buffer.
+func productKernel(rng *rand.Rand) int64 {
+	w := make([]float64, tuneN)
+	acc := make([]float64, tuneN)
+	for i := range w {
+		w[i] = rng.Float64() + 0.5
+	}
+	for i := 0; i < tuneN; i++ {
+		j := (i * 31) & (tuneN - 1)
+		v := w[i] + w[j]
+		if v < acc[j] || acc[j] == 0 {
+			acc[j] = v
+		}
+	}
+	return tuneN
+}
+
+// foldKernel models monoid folds with branchy comparisons (multpath ⊕).
+func foldKernel(rng *rand.Rand) int64 {
+	type mp struct {
+		w float64
+		m float64
+	}
+	xs := make([]mp, tuneN)
+	for i := range xs {
+		xs[i] = mp{w: float64(rng.Intn(16)), m: 1}
+	}
+	cur := mp{w: 1e300}
+	for _, x := range xs {
+		switch {
+		case x.w < cur.w:
+			cur = x
+		case x.w == cur.w:
+			cur.m += x.m
+		}
+	}
+	if cur.m < 0 {
+		panic("unreachable")
+	}
+	return tuneN
+}

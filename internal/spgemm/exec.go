@@ -1,0 +1,406 @@
+package spgemm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/distmat"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+)
+
+// Session is one processor's handle for distributed multiplications. Grid
+// construction is collective, so every processor must issue the same plan
+// sequence (guaranteed because plan selection is deterministic). The
+// session also caches stationary-operand working sets so that the
+// adjacency-matrix replication of MFBC is paid once and amortized over all
+// iterations and batches, as in the proof of Theorem 5.1.
+type Session struct {
+	Proc  *machine.Proc
+	grids map[[3]int]*machine.Grid3
+	cache map[string]any
+}
+
+// NewSession creates a session for this processor.
+func NewSession(p *machine.Proc) *Session {
+	return &Session{Proc: p, grids: make(map[[3]int]*machine.Grid3), cache: make(map[string]any)}
+}
+
+// Grid returns (building on first use) the p1×p2×p3 grid over the world.
+func (s *Session) Grid(p1, p2, p3 int) *machine.Grid3 {
+	key := [3]int{p1, p2, p3}
+	if g, ok := s.grids[key]; ok {
+		return g
+	}
+	g := machine.NewGrid3(s.Proc.World(), p1, p2, p3)
+	s.grids[key] = g
+	return g
+}
+
+// ranges holds the layer-local coordinate ranges of one processor: the
+// fiber dimension is split across layers, the rest span the full matrix.
+type ranges struct {
+	m0, m1, k0, k1, n0, n1 int32
+}
+
+func layerRanges(plan Plan, m, k, n, layer int) ranges {
+	r := ranges{m1: int32(m), k1: int32(k), n1: int32(n)}
+	if plan.P1 <= 1 {
+		return r
+	}
+	switch plan.X {
+	case RoleA:
+		r.n0, r.n1 = distmat.PartBounds(layer, n, plan.P1)
+	case RoleB:
+		r.m0, r.m1 = distmat.PartBounds(layer, m, plan.P1)
+	case RoleC:
+		r.k0, r.k1 = distmat.PartBounds(layer, k, plan.P1)
+	}
+	return r
+}
+
+// layerOf maps a coordinate on the fiber-split dimension to its layer.
+func layerOf(plan Plan, m, k, n int, i, kc, j int32, role Role) int {
+	if plan.P1 <= 1 {
+		return 0
+	}
+	switch plan.X {
+	case RoleA: // split n
+		if role == RoleA { // A is replicated: shard pseudo-randomly pre-replication
+			return shard(i, kc, plan.P1)
+		}
+		return distmat.Part(j, n, plan.P1)
+	case RoleB: // split m
+		if role == RoleB {
+			return shard(kc, j, plan.P1)
+		}
+		return distmat.Part(i, m, plan.P1)
+	default: // RoleC: split k
+		if role == RoleC {
+			panic("spgemm: C has no input layer assignment under RoleC")
+		}
+		return distmat.Part(kc, k, plan.P1)
+	}
+}
+
+func shard(i, j int32, p int) int {
+	h := uint64(uint32(i))*0x9E3779B1 ^ uint64(uint32(j))*0x85EBCA77
+	h ^= h >> 33
+	return int(h % uint64(p))
+}
+
+func partIn(x, lo, hi int32, parts int) int { return distmat.Part(x-lo, int(hi-lo), parts) }
+
+// inner2D computes the layer-grid position (li, lj) of a coordinate pair
+// for the given operand under the given variant, using the layer's local
+// ranges. S is the stage count.
+func inner2D(v Variant, role Role, p2, p3, s int, r ranges, i, j int32) (int, int) {
+	switch v {
+	case VarAB:
+		switch role {
+		case RoleA: // (i, k): rows blocked over p2, k staged mod p3
+			return partIn(i, r.m0, r.m1, p2), partIn(j, r.k0, r.k1, s) % p3
+		case RoleB: // (k, j): k staged mod p2, cols blocked over p3
+			return partIn(i, r.k0, r.k1, s) % p2, partIn(j, r.n0, r.n1, p3)
+		default: // C stationary block
+			return partIn(i, r.m0, r.m1, p2), partIn(j, r.n0, r.n1, p3)
+		}
+	case VarAC:
+		switch role {
+		case RoleA: // (i, k): m staged mod p3, k blocked over p2
+			return partIn(j, r.k0, r.k1, p2), partIn(i, r.m0, r.m1, s) % p3
+		case RoleB: // stationary block (k→p2, n→p3)
+			return partIn(i, r.k0, r.k1, p2), partIn(j, r.n0, r.n1, p3)
+		default: // C: m staged mod p2, n blocked over p3
+			return partIn(i, r.m0, r.m1, s) % p2, partIn(j, r.n0, r.n1, p3)
+		}
+	default: // VarBC
+		switch role {
+		case RoleA: // stationary block (m→p2, k→p3)
+			return partIn(i, r.m0, r.m1, p2), partIn(j, r.k0, r.k1, p3)
+		case RoleB: // (k, j): n staged mod p2, k blocked over p3
+			return partIn(j, r.n0, r.n1, s) % p2, partIn(i, r.k0, r.k1, p3)
+		default: // C: m blocked over p2, n staged mod p3
+			return partIn(i, r.m0, r.m1, p2), partIn(j, r.n0, r.n1, s) % p3
+		}
+	}
+}
+
+// Dists returns the input distributions the plan requires for A and B and
+// the output distribution it produces for C.
+func Dists(plan Plan, m, k, n int) (da, db, dc distmat.Dist) {
+	p := plan.Procs()
+	s := plan.Stages()
+	mk := func(role Role, tag string, coordRole func(i, j int32) (int32, int32, int32)) distmat.Dist {
+		return distmat.Dist{
+			Key: fmt.Sprintf("spgemm(%s,%s,m=%d,k=%d,n=%d)", plan, tag, m, k, n),
+			P:   p,
+			Owner: func(i, j int32) int {
+				ri, rk, rj := coordRole(i, j)
+				l := layerOf(plan, m, k, n, ri, rk, rj, role)
+				r := layerRanges(plan, m, k, n, l)
+				li, lj := inner2D(plan.YZ, role, plan.P2, plan.P3, s, r, i, j)
+				return l*plan.P2*plan.P3 + li*plan.P3 + lj
+			},
+		}
+	}
+	da = mk(RoleA, "A", func(i, j int32) (int32, int32, int32) { return i, j, -1 })
+	db = mk(RoleB, "B", func(i, j int32) (int32, int32, int32) { return -1, i, j })
+	// C's layer under RoleC is the reduction root, spread by inner position.
+	dc = distmat.Dist{
+		Key: fmt.Sprintf("spgemm(%s,C,m=%d,k=%d,n=%d)", plan, m, k, n),
+		P:   p,
+		Owner: func(i, j int32) int {
+			var l int
+			r := layerRanges(plan, m, k, n, 0)
+			if plan.P1 > 1 {
+				switch plan.X {
+				case RoleA:
+					l = distmat.Part(j, n, plan.P1)
+				case RoleB:
+					l = distmat.Part(i, m, plan.P1)
+				case RoleC:
+					// all layers share full (m, n): the root layer rotates
+					// with the inner rank.
+					li, lj := inner2D(plan.YZ, RoleC, plan.P2, plan.P3, s, r, i, j)
+					return ((li*plan.P3+lj)%plan.P1)*plan.P2*plan.P3 + li*plan.P3 + lj
+				}
+			}
+			r = layerRanges(plan, m, k, n, l)
+			li, lj := inner2D(plan.YZ, RoleC, plan.P2, plan.P3, s, r, i, j)
+			return l*plan.P2*plan.P3 + li*plan.P3 + lj
+		},
+	}
+	return da, db, dc
+}
+
+// Multiply computes the generalized product C = A •⟨add,f⟩ B according to
+// plan. When cacheB is true the working set of B (redistributed and, for
+// RoleB plans, fiber-replicated) is cached in the session keyed by B's
+// identity, so repeated multiplications against the same stationary matrix
+// (MFBC's adjacency) pay its movement once.
+func Multiply[TA, TB, TC any](
+	s *Session, plan Plan,
+	a *distmat.Mat[TA], b *distmat.Mat[TB],
+	f func(TA, TB) TC,
+	add algebra.Monoid[TC], addA algebra.Monoid[TA], addB algebra.Monoid[TB],
+	cacheB bool,
+) *distmat.Mat[TC] {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("spgemm: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	world := s.Proc.World()
+	if plan.Procs() != world.Size() {
+		panic(fmt.Sprintf("spgemm: plan %s does not tile %d processors", plan, world.Size()))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	g := s.Grid(plan.P1, plan.P2, plan.P3)
+	da, db, dc := Dists(plan, m, k, n)
+
+	// Stage the A operand (moving in every variant).
+	aw := distmat.Redistribute(world, a, da, addA)
+	aE := aw.Local
+	if plan.P1 > 1 && plan.X == RoleA {
+		aE = machine.AllgatherConcat(g.Fiber, aE)
+		distmat.SortEntries(aE)
+	}
+
+	// Stage the B operand, with optional caching of the stationary matrix.
+	var bE []sparse.Entry[TB]
+	cacheKey := fmt.Sprintf("B:%p:%s:%dx%d", b, plan, k, n)
+	if cacheB {
+		if v, ok := s.cache[cacheKey]; ok {
+			bE = v.([]sparse.Entry[TB])
+		}
+	}
+	if bE == nil {
+		bw := distmat.Redistribute(world, b, db, addB)
+		bE = bw.Local
+		if plan.P1 > 1 && plan.X == RoleB {
+			bE = machine.AllgatherConcat(g.Fiber, bE)
+			distmat.SortEntries(bE)
+		}
+		if cacheB {
+			s.cache[cacheKey] = bE
+		}
+	}
+
+	r := layerRanges(plan, m, k, n, g.MyLayer)
+	var c []sparse.Entry[TC]
+	switch plan.YZ {
+	case VarAB:
+		c = runAB(s.Proc, g, plan, r, aE, bE, f, add)
+	case VarAC:
+		c = runAC(s.Proc, g, plan, r, aE, bE, f, add)
+	default:
+		c = runBC(s.Proc, g, plan, r, aE, bE, f, add)
+	}
+
+	if plan.P1 > 1 && plan.X == RoleC {
+		// Partial C matrices live at the same inner position of every
+		// layer; reduce over the fiber to the rotating root layer.
+		rootLayer := (g.G2.MyR*plan.P3 + g.G2.MyC) % plan.P1
+		red := machine.ReduceSlices(g.Fiber, rootLayer, c, func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] {
+			return distmat.MergeSorted(x, y, add)
+		})
+		if g.MyLayer == rootLayer {
+			c = red
+		} else {
+			c = nil
+		}
+	}
+	return &distmat.Mat[TC]{Rows: m, Cols: n, Dist: dc, Local: c}
+}
+
+// stageBounds returns the absolute [lo, hi) bounds of stage t over the
+// range [lo0, hi0) split into s stages.
+func stageBounds(t int, lo0, hi0 int32, s int) (int32, int32) {
+	lo, hi := distmat.PartBounds(t, int(hi0-lo0), s)
+	return lo0 + lo, lo0 + hi
+}
+
+func bucketByStage[T any](es []sparse.Entry[T], s int, stageOf func(sparse.Entry[T]) int) [][]sparse.Entry[T] {
+	out := make([][]sparse.Entry[T], s)
+	for _, e := range es {
+		t := stageOf(e)
+		out[t] = append(out[t], e)
+	}
+	return out
+}
+
+// runAB: C stationary; A broadcast along grid rows, B along grid columns,
+// one stage per k-block (lcm(p2,p3) stages).
+func runAB[TA, TB, TC any](
+	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
+	f func(TA, TB) TC, add algebra.Monoid[TC],
+) []sparse.Entry[TC] {
+	s := plan.Stages()
+	aStage := bucketByStage(aE, s, func(e sparse.Entry[TA]) int { return partIn(e.J, r.k0, r.k1, s) })
+	bStage := bucketByStage(bE, s, func(e sparse.Entry[TB]) int { return partIn(e.I, r.k0, r.k1, s) })
+	var acc []sparse.Entry[TC]
+	for t := 0; t < s; t++ {
+		aBlk := machine.Bcast(g.G2.Row, t%plan.P3, aStage[t])
+		bBlk := machine.Bcast(g.G2.Col, t%plan.P2, bStage[t])
+		kb0, kb1 := stageBounds(t, r.k0, r.k1, s)
+		prod, ops := mulEntries(aBlk, bBlk, kb0, kb1, f, add)
+		proc.AddFlops(ops)
+		acc = distmat.MergeSorted(acc, prod, add)
+	}
+	return acc
+}
+
+// runAC: B stationary; A broadcast along grid rows, partial C reduced along
+// grid columns, one stage per m-block.
+func runAC[TA, TB, TC any](
+	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
+	f func(TA, TB) TC, add algebra.Monoid[TC],
+) []sparse.Entry[TC] {
+	s := plan.Stages()
+	aStage := bucketByStage(aE, s, func(e sparse.Entry[TA]) int { return partIn(e.I, r.m0, r.m1, s) })
+	kb0, kb1 := stageBounds(g.G2.MyR, r.k0, r.k1, plan.P2)
+	var acc []sparse.Entry[TC]
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSorted(x, y, add) }
+	for t := 0; t < s; t++ {
+		aBlk := machine.Bcast(g.G2.Row, t%plan.P3, aStage[t])
+		prod, ops := mulEntries(aBlk, bE, kb0, kb1, f, add)
+		proc.AddFlops(ops)
+		red := machine.ReduceSlices(g.G2.Col, t%plan.P2, prod, merge)
+		if g.G2.MyR == t%plan.P2 {
+			acc = append(acc, red...) // stages cover ascending row ranges
+		}
+	}
+	return acc
+}
+
+// runBC: A stationary; B broadcast along grid columns, partial C reduced
+// along grid rows, one stage per n-block.
+func runBC[TA, TB, TC any](
+	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
+	f func(TA, TB) TC, add algebra.Monoid[TC],
+) []sparse.Entry[TC] {
+	s := plan.Stages()
+	bStage := bucketByStage(bE, s, func(e sparse.Entry[TB]) int { return partIn(e.J, r.n0, r.n1, s) })
+	kb0, kb1 := stageBounds(g.G2.MyC, r.k0, r.k1, plan.P3)
+	var acc []sparse.Entry[TC]
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSorted(x, y, add) }
+	for t := 0; t < s; t++ {
+		bBlk := machine.Bcast(g.G2.Col, t%plan.P2, bStage[t])
+		prod, ops := mulEntries(aE, bBlk, kb0, kb1, f, add)
+		proc.AddFlops(ops)
+		red := machine.ReduceSlices(g.G2.Row, t%plan.P3, prod, merge)
+		if g.G2.MyC == t%plan.P3 {
+			acc = distmat.MergeSorted(acc, red, add) // stage columns interleave rows
+		}
+	}
+	return acc
+}
+
+// mulEntries multiplies two coordinate blocks: aE's columns and bE's rows
+// both lie in [k0, k1). Inputs are (row, col)-sorted; the output is sorted
+// and duplicate-free. Returns the entry list and the f-evaluation count.
+func mulEntries[TA, TB, TC any](
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB], k0, k1 int32,
+	f func(TA, TB) TC, add algebra.Monoid[TC],
+) ([]sparse.Entry[TC], int64) {
+	if len(aE) == 0 || len(bE) == 0 {
+		return nil, 0
+	}
+	// Index bE rows within [k0, k1).
+	nk := int(k1 - k0)
+	offs := make([]int32, nk+1)
+	for _, e := range bE {
+		offs[e.I-k0+1]++
+	}
+	for i := 0; i < nk; i++ {
+		offs[i+1] += offs[i]
+	}
+	var out []sparse.Entry[TC]
+	var ops int64
+	type jv struct {
+		j int32
+		v TC
+	}
+	var buf []jv
+	flushRow := func(i int32) {
+		if len(buf) == 0 {
+			return
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
+		cur := buf[0]
+		for _, p := range buf[1:] {
+			if p.j == cur.j {
+				cur.v = add.Op(cur.v, p.v)
+				continue
+			}
+			if !add.IsZero(cur.v) {
+				out = append(out, sparse.Entry[TC]{I: i, J: cur.j, V: cur.v})
+			}
+			cur = p
+		}
+		if !add.IsZero(cur.v) {
+			out = append(out, sparse.Entry[TC]{I: i, J: cur.j, V: cur.v})
+		}
+		buf = buf[:0]
+	}
+	row := int32(-1)
+	for _, ea := range aE {
+		if ea.I != row {
+			flushRow(row)
+			row = ea.I
+		}
+		if ea.J < k0 || ea.J >= k1 {
+			continue
+		}
+		lo, hi := offs[ea.J-k0], offs[ea.J-k0+1]
+		for _, eb := range bE[lo:hi] {
+			buf = append(buf, jv{j: eb.J, v: f(ea.V, eb.V)})
+			ops++
+		}
+	}
+	flushRow(row)
+	return out, ops
+}

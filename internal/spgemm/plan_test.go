@@ -1,0 +1,96 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestDistsPartitionCoordinates: for every plan shape, the generated A/B/C
+// distributions must map every coordinate to a valid rank, and the
+// assignment must be a pure function (same input → same owner).
+func TestDistsPartitionCoordinates(t *testing.T) {
+	m, k, n := 23, 31, 19
+	rng := rand.New(rand.NewSource(4))
+	for _, f := range machine.Factorizations3(12) {
+		for _, x := range []Role{RoleA, RoleB, RoleC} {
+			for _, yz := range []Variant{VarAB, VarAC, VarBC} {
+				plan := Plan{P1: f[0], P2: f[1], P3: f[2], X: x, YZ: yz}
+				da, db, dc := Dists(plan, m, k, n)
+				p := plan.Procs()
+				for trial := 0; trial < 200; trial++ {
+					i, kk, j := int32(rng.Intn(m)), int32(rng.Intn(k)), int32(rng.Intn(n))
+					if r := da.Owner(i, kk); r < 0 || r >= p {
+						t.Fatalf("%s: A owner %d out of range", plan, r)
+					}
+					if r := db.Owner(kk, j); r < 0 || r >= p {
+						t.Fatalf("%s: B owner %d out of range", plan, r)
+					}
+					if r := dc.Owner(i, j); r < 0 || r >= p {
+						t.Fatalf("%s: C owner %d out of range", plan, r)
+					}
+					if da.Owner(i, kk) != da.Owner(i, kk) || dc.Owner(i, j) != dc.Owner(i, j) {
+						t.Fatalf("%s: owner not deterministic", plan)
+					}
+				}
+				if da.Key == db.Key || da.Key == dc.Key {
+					t.Fatalf("%s: distribution keys collide", plan)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateMonotonicity: more nonzeros never make a plan cheaper.
+func TestEstimateMonotonicity(t *testing.T) {
+	model := machine.DefaultModel()
+	plan := Plan{P1: 2, P2: 2, P3: 2, X: RoleB, YZ: VarAC}
+	small := Problem{M: 64, K: 1000, N: 1000, NNZA: 100, NNZB: 10000, BytesA: 24, BytesB: 16, BytesC: 24}
+	big := small
+	big.NNZA *= 10
+	big.NNZB *= 10
+	if Estimate(plan, big, model) < Estimate(plan, small, model) {
+		t.Fatal("cost estimate decreased with more nonzeros")
+	}
+}
+
+// TestEstimateReplicationAmortization: for a frontier-vs-adjacency shaped
+// problem, a plan that replicates the small operand must beat the one that
+// replicates the big operand in modeled cost.
+func TestEstimateReplicationSkew(t *testing.T) {
+	model := machine.DefaultModel()
+	pr := Problem{M: 32, K: 1 << 14, N: 1 << 14, NNZA: 1000, NNZB: 1 << 20, BytesA: 24, BytesB: 16, BytesC: 24}
+	replSmall := Plan{P1: 4, P2: 2, P3: 2, X: RoleA, YZ: VarAB}
+	replBig := Plan{P1: 4, P2: 2, P3: 2, X: RoleB, YZ: VarAB}
+	if Estimate(replSmall, pr, model) > Estimate(replBig, pr, model) {
+		t.Fatal("replicating the tiny operand must be cheaper than replicating the adjacency")
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	plan := Plan{P1: 2, P2: 3, P3: 4, X: RoleC, YZ: VarBC}
+	if plan.Procs() != 24 {
+		t.Fatal("procs wrong")
+	}
+	if plan.Stages() != 12 {
+		t.Fatalf("stages = %d want lcm(3,4)=12", plan.Stages())
+	}
+	if plan.String() == "" || RoleA.String() != "A" || VarAC.String() != "AC" {
+		t.Fatal("stringers broken")
+	}
+}
+
+func TestSearchDegenerateProcs(t *testing.T) {
+	model := machine.DefaultModel()
+	pr := Problem{M: 8, K: 100, N: 100, NNZA: 50, NNZB: 500, BytesA: 24, BytesB: 16, BytesC: 24}
+	plan := Search(1, pr, model, AnyPlan)
+	if plan.Procs() != 1 {
+		t.Fatalf("p=1 search returned %s", plan)
+	}
+	// Prime p: only 1D and flat 2D shapes exist.
+	plan = Search(7, pr, model, AnyPlan)
+	if plan.Procs() != 7 {
+		t.Fatalf("p=7 search returned %s", plan)
+	}
+}

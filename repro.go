@@ -1,0 +1,305 @@
+// Package repro is the public API of this reproduction of
+// "Scaling Betweenness Centrality using Communication-Efficient Sparse
+// Matrix Multiplication" (Solomonik, Besta, Vella, Hoefler — SC 2017).
+//
+// It exposes the Maximal Frontier Betweenness Centrality (MFBC) algorithm —
+// sequential and distributed over a simulated machine with an α–β–γ
+// communication cost model — together with the comparison engines of the
+// paper's evaluation (textbook Brandes and a CombBLAS-style batched
+// algebraic BC), graph generators, and the experiment harness that
+// regenerates every table and figure of the evaluation section.
+//
+// Quick start:
+//
+//	g := repro.RMATGraph(10, 8, 42)
+//	res, err := repro.Compute(g, repro.Options{Engine: repro.EngineMFBC})
+//	// res.BC[v] is the betweenness centrality of vertex v.
+//
+// Distributed execution with communication accounting:
+//
+//	res, err := repro.Compute(g, repro.Options{
+//		Engine: repro.EngineMFBC,
+//		Procs:  16,
+//		Batch:  64,
+//	})
+//	// res.Comm reports critical-path bytes/messages and modeled seconds.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/spgemm"
+)
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Graph re-exports the graph type used throughout the library.
+type Graph = graph.Graph
+
+// Edge re-exports the edge type.
+type Edge = graph.Edge
+
+// Engine selects a betweenness-centrality implementation.
+type Engine string
+
+const (
+	// EngineMFBC is the paper's contribution: Bellman-Ford-based maximal
+	// frontier BC over generalized sparse matrix products. Handles weighted
+	// and unweighted, directed and undirected graphs.
+	EngineMFBC Engine = "mfbc"
+	// EngineBrandes is the textbook sequential algorithm (BFS or Dijkstra),
+	// the correctness oracle. Ignores Procs.
+	EngineBrandes Engine = "brandes"
+	// EngineCombBLAS is the CombBLAS-style batched algebraic BC the paper
+	// compares against: 2D-only decomposition, unweighted graphs only.
+	EngineCombBLAS Engine = "combblas"
+)
+
+// Options configures Compute.
+type Options struct {
+	Engine Engine // default EngineMFBC
+	// Procs simulates a distributed machine with this many processors
+	// (default 1). With Procs == 1 and no forced plan, MFBC runs the fast
+	// sequential path.
+	Procs int
+	// Batch is n_b, the number of sources per sweep (Algorithm 3's
+	// time/memory trade-off). ≤0 selects min(n, 128).
+	Batch int
+	// Sources restricts the computation to one batch; BC then holds the
+	// partial sums Σ_{s∈Sources} δ(s,·) (benchmark mode).
+	Sources []int32
+	// Plan forces a specific data decomposition (see spgemm.Plan); nil
+	// selects automatically by modeled cost.
+	Plan *spgemm.Plan
+	// Constraint restricts the automatic decomposition search.
+	Constraint spgemm.Constraint
+	// Model overrides the machine cost constants.
+	Model *machine.CostModel
+	// Normalize divides scores by (n-1)(n-2), the usual [0,1] scaling.
+	Normalize bool
+}
+
+// CommReport summarizes the simulated communication of a distributed run.
+type CommReport struct {
+	Bytes    int64   // critical-path bytes
+	Msgs     int64   // critical-path messages
+	Flops    int64   // critical-path generalized operations
+	ModelSec float64 // modeled execution seconds (α–β–γ)
+	CommSec  float64 // modeled communication seconds (α–β only)
+	WallSec  float64 // host wall-clock seconds (informational)
+}
+
+// Result carries centrality scores and run metadata.
+type Result struct {
+	BC         []float64
+	Engine     Engine
+	Procs      int
+	Plan       string // decomposition used (distributed runs)
+	Iterations int    // frontier relaxation rounds (MFBC) or BFS levels (CombBLAS)
+	Comm       CommReport
+}
+
+// Compute runs betweenness centrality on g with the selected engine.
+func Compute(g *Graph, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("repro: nil graph")
+	}
+	if opt.Engine == "" {
+		opt.Engine = EngineMFBC
+	}
+	procs := opt.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	res := &Result{Engine: opt.Engine, Procs: procs}
+	switch opt.Engine {
+	case EngineBrandes:
+		if opt.Sources != nil {
+			res.BC = baseline.BrandesSources(g, opt.Sources)
+		} else {
+			res.BC = baseline.Brandes(g)
+		}
+	case EngineMFBC:
+		if procs == 1 && opt.Plan == nil && opt.Sources == nil {
+			r, err := core.MFBC(g, core.Options{Batch: opt.Batch})
+			if err != nil {
+				return nil, err
+			}
+			res.BC = r.BC
+			res.Iterations = r.Iterations
+		} else {
+			r, err := core.MFBCDistributed(g, core.DistOptions{
+				Procs: procs, Batch: opt.Batch, Sources: opt.Sources,
+				Plan: opt.Plan, Constraint: opt.Constraint, Model: opt.Model,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.BC = r.BC
+			res.Plan = r.Plan.String()
+			res.Iterations = r.Iterations
+			res.Comm = commReport(r.Stats)
+		}
+	case EngineCombBLAS:
+		r, err := baseline.CombBLASStyleDistributed(g, baseline.DistCombBLASOptions{
+			Procs: procs, Batch: opt.Batch, Sources: opt.Sources, Model: opt.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.BC = r.BC
+		res.Plan = r.Plan.String()
+		res.Iterations = r.Levels
+		res.Comm = commReport(r.Stats)
+	default:
+		return nil, fmt.Errorf("repro: unknown engine %q", opt.Engine)
+	}
+	if opt.Normalize && g.N > 2 {
+		scale := 1 / (float64(g.N-1) * float64(g.N-2))
+		for i := range res.BC {
+			res.BC[i] *= scale
+		}
+	}
+	return res, nil
+}
+
+func commReport(s machine.RunStats) CommReport {
+	return CommReport{
+		Bytes:    s.MaxCost.Bytes,
+		Msgs:     s.MaxCost.Msgs,
+		Flops:    s.MaxCost.Flops,
+		ModelSec: s.ModelSec,
+		CommSec:  s.CommSec,
+		WallSec:  s.Wall.Seconds(),
+	}
+}
+
+// TopK returns the indices of the k highest-scoring vertices, descending.
+func TopK(bc []float64, k int) []int {
+	type pair struct {
+		v  int
+		bc float64
+	}
+	ps := make([]pair, len(bc))
+	for i, x := range bc {
+		ps[i] = pair{i, x}
+	}
+	// Selection by partial sort: small k, simple full sort is fine here.
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j].bc > ps[i].bc || (ps[j].bc == ps[i].bc && ps[j].v < ps[i].v) {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+		if i >= k {
+			break
+		}
+	}
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].v
+	}
+	return out
+}
+
+// SSSPResult re-exports the shortest-path result type.
+type SSSPResult = core.SSSPResult
+
+// ShortestPaths computes multi-source shortest path distances and
+// shortest-path multiplicities (the MFBF sweep of Algorithm 1 as a
+// standalone capability). With opt.Procs > 1 it runs on the simulated
+// distributed machine.
+func ShortestPaths(g *Graph, sources []int32, opt Options) (*SSSPResult, error) {
+	procs := opt.Procs
+	if procs <= 1 && opt.Plan == nil {
+		return core.SSSP(g, sources)
+	}
+	res, _, err := core.SSSPDistributed(g, sources, core.DistOptions{
+		Procs: procs, Plan: opt.Plan, Constraint: opt.Constraint, Model: opt.Model,
+	})
+	return res, err
+}
+
+// ApproximateBC estimates betweenness centrality from a random sample of
+// `samples` source vertices, scaling each vertex's accumulated dependency
+// by n/samples (the estimator of Bader et al. cited in the paper's
+// introduction). It reuses the batch mode of the selected engine, so the
+// cost is samples/n of the exact computation.
+func ApproximateBC(g *Graph, samples int, seed int64, opt Options) (*Result, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("repro: need at least one sample source")
+	}
+	if samples >= g.N {
+		return Compute(g, opt)
+	}
+	rng := newPerm(g.N, seed)
+	sources := make([]int32, samples)
+	for i := range sources {
+		sources[i] = int32(rng[i])
+	}
+	opt.Sources = sources
+	res, err := Compute(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	scale := float64(g.N) / float64(samples)
+	for v := range res.BC {
+		res.BC[v] *= scale
+	}
+	return res, nil
+}
+
+// newPerm returns a seeded random permutation of 0..n-1.
+func newPerm(n int, seed int64) []int {
+	rng := randNew(seed)
+	return rng.Perm(n)
+}
+
+// RMATGraph generates an R-MAT power-law graph with 2^scale vertices and
+// about edgeFactor·2^scale edges (Graph500 parameters), disconnected
+// vertices removed.
+func RMATGraph(scale, edgeFactor int, seed int64) *Graph {
+	return graph.RMAT(graph.DefaultRMAT(scale, edgeFactor, seed))
+}
+
+// UniformGraph generates an Erdős–Rényi style G(n, m) graph.
+func UniformGraph(n, m int, directed bool, seed int64) *Graph {
+	return graph.Uniform(n, m, directed, seed)
+}
+
+// GridGraph generates an r×c mesh; maxW > 1 adds uniform integer weights in
+// [1, maxW].
+func GridGraph(r, c, maxW int, seed int64) *Graph {
+	return graph.Grid2D(r, c, maxW, seed)
+}
+
+// StandinGraph generates one of the SNAP stand-in graphs of the paper's
+// Table 2 ("friendster-sim", "orkut-sim", "livejournal-sim", "patents-sim").
+func StandinGraph(id string, scale int, seed int64) (*Graph, error) {
+	return graph.Standin(id, scale, seed)
+}
+
+// LoadGraph reads an edge-list file (see internal/graph.ReadEdgeList for
+// the format).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes an edge-list file.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// RunExperiment executes one of the paper-reproduction experiments by id
+// (see ExperimentIDs) with the given configuration.
+func RunExperiment(id string, cfg bench.Config) ([]bench.Point, error) {
+	return bench.Run(id, cfg)
+}
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string { return append([]string(nil), bench.Experiments...) }

@@ -1,0 +1,236 @@
+package repro
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+// TestEnginesAgree is the top-level acceptance test: all three engines
+// produce identical scores on an unweighted graph, sequentially and
+// distributed.
+func TestEnginesAgree(t *testing.T) {
+	g := RMATGraph(7, 8, 3)
+	oracle, err := Compute(g, Options{Engine: EngineBrandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{
+		{Engine: EngineMFBC},
+		{Engine: EngineMFBC, Procs: 4},
+		{Engine: EngineMFBC, Procs: 9, Batch: 16},
+		{Engine: EngineCombBLAS},
+		{Engine: EngineCombBLAS, Procs: 4},
+	} {
+		res, err := Compute(g, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		for v := range oracle.BC {
+			if !almostEqual(res.BC[v], oracle.BC[v]) {
+				t.Fatalf("engine %s p=%d: BC[%d]=%g want %g", opt.Engine, opt.Procs, v, res.BC[v], oracle.BC[v])
+			}
+		}
+	}
+}
+
+func TestWeightedOnlyMFBC(t *testing.T) {
+	g := GridGraph(5, 5, 9, 1)
+	oracle, err := Compute(g, Options{Engine: EngineBrandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(g, Options{Engine: EngineMFBC, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range oracle.BC {
+		if !almostEqual(res.BC[v], oracle.BC[v]) {
+			t.Fatalf("BC[%d]=%g want %g", v, res.BC[v], oracle.BC[v])
+		}
+	}
+	if _, err := Compute(g, Options{Engine: EngineCombBLAS}); err == nil {
+		t.Fatal("combblas engine must reject weighted graphs")
+	}
+}
+
+func TestSourcesBatchMode(t *testing.T) {
+	g := UniformGraph(60, 300, false, 5)
+	sources := []int32{3, 17, 42}
+	partial, err := Compute(g, Options{Engine: EngineMFBC, Procs: 2, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Compute(g, Options{Engine: EngineBrandes, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range oracle.BC {
+		if !almostEqual(partial.BC[v], oracle.BC[v]) {
+			t.Fatalf("partial BC[%d]=%g want %g", v, partial.BC[v], oracle.BC[v])
+		}
+	}
+}
+
+func TestNormalizeScores(t *testing.T) {
+	g := UniformGraph(30, 120, false, 6)
+	raw, err := Compute(g, Options{Engine: EngineMFBC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Compute(g, Options{Engine: EngineMFBC, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := float64(g.N-1) * float64(g.N-2)
+	for v := range raw.BC {
+		if !almostEqual(norm.BC[v]*scale, raw.BC[v]) {
+			t.Fatalf("normalization wrong at %d", v)
+		}
+		if norm.BC[v] < 0 || norm.BC[v] > 1 {
+			t.Fatalf("normalized score %g outside [0,1]", norm.BC[v])
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	bc := []float64{1, 9, 3, 9, 0}
+	top := TopK(bc, 3)
+	if len(top) != 3 || top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := TopK(bc, 99); len(got) != len(bc) {
+		t.Fatal("TopK must clamp k")
+	}
+}
+
+func TestCommReportPopulated(t *testing.T) {
+	g := RMATGraph(7, 8, 9)
+	res, err := Compute(g, Options{Engine: EngineMFBC, Procs: 8, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Bytes == 0 || res.Comm.Msgs == 0 || res.Comm.Flops == 0 {
+		t.Fatalf("comm report empty: %+v", res.Comm)
+	}
+	if res.Plan == "" || res.Iterations == 0 {
+		t.Fatal("metadata missing")
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := RMATGraph(6, 6, 11)
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != g.N || h.M() != g.M() {
+		t.Fatal("file round trip changed the graph")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	g := UniformGraph(10, 20, false, 1)
+	if _, err := Compute(g, Options{Engine: "nope"}); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+	if _, err := Compute(nil, Options{}); err == nil {
+		t.Fatal("nil graph must fail")
+	}
+}
+
+func TestShortestPaths(t *testing.T) {
+	g := GridGraph(5, 5, 7, 2)
+	seq, err := ShortestPaths(g, []int32{0, 12}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ShortestPaths(g, []int32{0, 12}, Options{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range seq.Dist {
+		for v := range seq.Dist[s] {
+			if seq.Dist[s][v] != dist.Dist[s][v] || seq.Counts[s][v] != dist.Counts[s][v] {
+				t.Fatalf("sequential and distributed SSSP disagree at (%d,%d)", s, v)
+			}
+		}
+	}
+	if seq.Dist[0][0] != 0 || seq.Counts[0][0] != 1 {
+		t.Fatal("source self-distance must be 0 with multiplicity 1")
+	}
+}
+
+// TestApproximateBC checks the sampling estimator: unbiased scaling and a
+// sane top-vertex on a structured graph.
+func TestApproximateBC(t *testing.T) {
+	// On a star graph every source contributes identically, so sampling
+	// must reproduce the exact (scaled) answer.
+	star := &Graph{Name: "star", N: 21}
+	for i := 1; i < 21; i++ {
+		star.Edges = append(star.Edges, Edge{U: 0, V: int32(i), W: 1})
+	}
+	exact, err := Compute(star, Options{Engine: EngineBrandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproximateBC(star, 5, 3, Options{Engine: EngineMFBC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spokes are interchangeable: hub estimate must be within 25% even
+	// with 5 of 21 samples (only the hub-vs-spoke source mix varies).
+	if approx.BC[0] < exact.BC[0]*0.7 || approx.BC[0] > exact.BC[0]*1.3 {
+		t.Fatalf("hub estimate %g far from exact %g", approx.BC[0], exact.BC[0])
+	}
+	if top := TopK(approx.BC, 1); top[0] != 0 {
+		t.Fatalf("approximation missed the hub: top=%d", top[0])
+	}
+	// samples ≥ n degenerates to the exact computation.
+	full, err := ApproximateBC(star, 100, 3, Options{Engine: EngineMFBC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact.BC {
+		if !almostEqual(full.BC[v], exact.BC[v]) {
+			t.Fatal("full-sample approximation must be exact")
+		}
+	}
+	if _, err := ApproximateBC(star, 0, 1, Options{}); err == nil {
+		t.Fatal("zero samples must fail")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 7 {
+		t.Fatalf("expected at least 7 experiments, got %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"table2", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "table3"} {
+		if !seen[want] {
+			t.Fatalf("missing paper artifact %s", want)
+		}
+	}
+}
