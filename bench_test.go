@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/algebra"
@@ -96,6 +97,79 @@ func BenchmarkSpGEMMGustavson(b *testing.B) {
 		ops += o
 	}
 	b.ReportMetric(float64(ops)/float64(b.N), "ops/mul")
+}
+
+// BenchmarkSpGEMMGustavsonParallel measures the row-blocked parallel
+// Gustavson kernel on the same workload as BenchmarkSpGEMMGustavson, one
+// sub-benchmark per worker count (compare ns/op across them; on a
+// single-core host all counts degenerate to the sequential kernel's time).
+func BenchmarkSpGEMMGustavsonParallel(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(11, 8, 1))
+	a := g.Adjacency()
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 64))
+	}
+	t, _, _ := core.MFBF(a, sources)
+	mp := algebra.MultPathMonoid()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.MulParallel(t, a, algebra.BFAction, mp, w)
+			}
+		})
+	}
+}
+
+// BenchmarkMFBCWorkers measures an end-to-end MFBC batch (MFBF + MFBr +
+// accumulation) on an R-MAT graph with ~65k edges (scale 13, edge factor
+// 8) at increasing worker counts. On a host with >=4 cores, workers=4
+// should run >=2x faster than workers=1: the frontier products dominate
+// the batch and parallelize row-wise.
+func BenchmarkMFBCWorkers(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(13, 8, 4))
+	if g.M() < 50000 {
+		b.Fatalf("graph too small: m=%d", g.M())
+	}
+	a := g.Adjacency()
+	at := sparse.Transpose(a)
+	sources := make([]int32, 128)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 128))
+	}
+	edges := float64(g.AdjacencyNNZ() * len(sources))
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			bc := make([]float64, g.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.MFBCBatchParallel(a, at, sources, bc, w)
+			}
+			b.ReportMetric(float64(b.N)*edges/b.Elapsed().Seconds()/1e6, "MTEPS")
+		})
+	}
+}
+
+// BenchmarkMFBCEndToEndWorkers runs the same comparison through the public
+// API on the simulated machine (one rank), so the distributed plumbing —
+// redistribution, entry-list kernels, merges — is included.
+func BenchmarkMFBCEndToEndWorkers(b *testing.B) {
+	g := graph.RMAT(graph.DefaultRMAT(13, 8, 4))
+	sources := make([]int32, 128)
+	for i := range sources {
+		sources[i] = int32(i * (g.N / 128))
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(g, Options{
+					Engine: EngineMFBC, Procs: 1, Sources: sources, Workers: w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMFBCSequentialBatch measures one sequential MFBF+MFBr batch.

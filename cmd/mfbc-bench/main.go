@@ -21,6 +21,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	procs := flag.String("procs", "1,4,16,64", "comma-separated simulated node counts")
+	workers := flag.Int("workers", 0, "local kernel threads per simulated rank (0 = fair share of all cores; 1 = sequential)")
 	scale := flag.Int("scale", 1, "stand-in graph scale multiplier")
 	batch := flag.Int("batch", 32, "sources per timed batch")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -52,12 +53,13 @@ func main() {
 		plist = append(plist, v)
 	}
 	cfg := bench.Config{
-		Out:   os.Stdout,
-		Procs: plist,
-		Scale: *scale,
-		Batch: *batch,
-		Seed:  *seed,
-		Quick: *quick,
+		Out:     os.Stdout,
+		Procs:   plist,
+		Workers: *workers,
+		Scale:   *scale,
+		Batch:   *batch,
+		Seed:    *seed,
+		Quick:   *quick,
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -28,6 +28,7 @@ func main() {
 	directed := flag.Bool("directed", false, "generated graph is directed")
 	engine := flag.String("engine", "mfbc", "engine: mfbc | brandes | combblas")
 	procs := flag.Int("procs", 1, "simulated processors")
+	workers := flag.Int("workers", 0, "local kernel threads per processor (0 = all cores, shared across simulated ranks; 1 = sequential)")
 	batch := flag.Int("batch", 0, "batch size n_b (0 = default)")
 	top := flag.Int("top", 10, "print the top-k central vertices")
 	comm := flag.Bool("comm", false, "print the communication report")
@@ -48,6 +49,7 @@ func main() {
 	res, err := repro.Compute(g, repro.Options{
 		Engine:    repro.Engine(*engine),
 		Procs:     *procs,
+		Workers:   *workers,
 		Batch:     *batch,
 		Normalize: *normalize,
 	})

@@ -23,12 +23,13 @@ import (
 
 // Config scales and directs an experiment run.
 type Config struct {
-	Out   io.Writer
-	Procs []int // simulated node counts; default {1, 4, 16, 64}
-	Scale int   // stand-in scale multiplier (1 = defaults)
-	Batch int   // sources per timed batch; default 32
-	Seed  int64
-	Quick bool // shrink workloads for smoke tests and testing.B
+	Out     io.Writer
+	Procs   []int // simulated node counts; default {1, 4, 16, 64}
+	Workers int   // local kernel threads per simulated rank; 0 = all cores, 1 = sequential
+	Scale   int   // stand-in scale multiplier (1 = defaults)
+	Batch   int   // sources per timed batch; default 32
+	Seed    int64
+	Quick   bool // shrink workloads for smoke tests and testing.B
 }
 
 func (c *Config) fill() {
@@ -129,14 +130,14 @@ func mteps(adjNNZ, nb, procs int, modelSec float64) float64 {
 }
 
 // runMFBC measures one CTF-MFBC batch.
-func runMFBC(exp string, g *graph.Graph, procs, nb int, seed int64, cons spgemm.Constraint, plan *spgemm.Plan) Point {
+func runMFBC(exp string, g *graph.Graph, procs, workers, nb int, seed int64, cons spgemm.Constraint, plan *spgemm.Plan) Point {
 	sources := sampleSources(g.N, nb, seed)
 	pt := Point{
 		Experiment: exp, Graph: g.Name, Engine: "ctf-mfbc", Weighted: g.Weighted,
 		Procs: procs, Batch: len(sources), N: g.N, M: g.M(),
 	}
 	res, err := core.MFBCDistributed(g, core.DistOptions{
-		Procs: procs, Sources: sources, Constraint: cons, Plan: plan,
+		Procs: procs, Workers: workers, Sources: sources, Constraint: cons, Plan: plan,
 	})
 	if err != nil {
 		pt.Err = err.Error()
@@ -236,7 +237,7 @@ func Fig1a(cfg Config) ([]Point, error) {
 			return nil, err
 		}
 		for _, p := range cfg.Procs {
-			pt := runMFBC("fig1a", g, p, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			pt := runMFBC("fig1a", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
 			printPoint(cfg, pt)
 			pts = append(pts, pt)
 		}
@@ -285,11 +286,11 @@ func Fig1c(cfg Config) ([]Point, error) {
 		weighted.AddUniformWeights(1, 100, cfg.Seed+1)
 		weighted.Name = base.Name + "-w"
 		for _, p := range cfg.Procs {
-			m := runMFBC("fig1c", base, p, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			m := runMFBC("fig1c", base, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
 			printPoint(cfg, m)
 			c := runCombBLAS("fig1c", base, p, cfg.Batch, cfg.Seed)
 			printPoint(cfg, c)
-			w := runMFBC("fig1c", weighted, p, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			w := runMFBC("fig1c", weighted, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
 			printPoint(cfg, w)
 			pts = append(pts, m, c, w)
 		}
@@ -317,7 +318,7 @@ func Fig2a(cfg Config) ([]Point, error) {
 			m := int(s.f * float64(n) * float64(n))
 			g := graph.Uniform(n, m, false, cfg.Seed+int64(n))
 			g.Name = fmt.Sprintf("uni-n0=%d-f=%.3g%%", s.n0, s.f*100)
-			mp := runMFBC("fig2a", g, p, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			mp := runMFBC("fig2a", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
 			printPoint(cfg, mp)
 			cp := runCombBLAS("fig2a", g, p, cfg.Batch, cfg.Seed)
 			printPoint(cfg, cp)
@@ -346,7 +347,7 @@ func Fig2b(cfg Config) ([]Point, error) {
 			m := s.k * n / 2
 			g := graph.Uniform(n, m, false, cfg.Seed+int64(n))
 			g.Name = fmt.Sprintf("uni-n0=%d-k=%d", s.n0, s.k)
-			mp := runMFBC("fig2b", g, p, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			mp := runMFBC("fig2b", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
 			printPoint(cfg, mp)
 			cp := runCombBLAS("fig2b", g, p, cfg.Batch, cfg.Seed)
 			printPoint(cfg, cp)
@@ -376,7 +377,7 @@ func Table3(cfg Config) ([]Point, error) {
 		}
 		for _, run := range []func() Point{
 			func() Point { return runCombBLAS("table3", g, p, nb, cfg.Seed) },
-			func() Point { return runMFBC("table3", g, p, nb, cfg.Seed, spgemm.AnyPlan, nil) },
+			func() Point { return runMFBC("table3", g, p, cfg.Workers, nb, cfg.Seed, spgemm.AnyPlan, nil) },
 		} {
 			pt := run()
 			if pt.Err != "" {
@@ -411,7 +412,7 @@ func AblateDecomp(cfg Config) ([]Point, error) {
 		{"2D-only", spgemm.Only2D},
 		{"3D-only", spgemm.Only3D},
 	} {
-		pt := runMFBC("ablate-decomp", g, p, cfg.Batch, cfg.Seed, c.cons, nil)
+		pt := runMFBC("ablate-decomp", g, p, cfg.Workers, cfg.Batch, cfg.Seed, c.cons, nil)
 		pt.Graph = g.Name + "/" + c.name
 		printPoint(cfg, pt)
 		pts = append(pts, pt)
@@ -437,7 +438,7 @@ func AblateBatch(cfg Config) ([]Point, error) {
 	}
 	var pts []Point
 	for _, nb := range sizes {
-		pt := runMFBC("ablate-batch", g, p, nb, cfg.Seed, spgemm.AnyPlan, nil)
+		pt := runMFBC("ablate-batch", g, p, cfg.Workers, nb, cfg.Seed, spgemm.AnyPlan, nil)
 		printPoint(cfg, pt)
 		pts = append(pts, pt)
 	}

@@ -61,6 +61,7 @@ func AblateCannon(cfg Config) ([]Point, error) {
 		mach := machine.New(p)
 		stats, err := mach.Run(func(proc *machine.Proc) {
 			sess := spgemm.NewSession(proc)
+			sess.Workers = cfg.Workers
 			shard := distmat.DistShard(p)
 			f := distmat.FromGlobal(proc.Rank(), frontier, shard, mp)
 			a := distmat.FromGlobal(proc.Rank(), adjCOO, shard, trop)

@@ -21,6 +21,7 @@ import (
 // DistOptions configures a distributed MFBC run.
 type DistOptions struct {
 	Procs      int                // simulated processor count (p)
+	Workers    int                // per-rank local-kernel parallelism; 0 = fair share of host cores across ranks, 1 = sequential
 	Batch      int                // n_b; ≤0 selects min(n, 128)
 	Sources    []int32            // when non-nil, process only this single batch (benchmark mode); BC holds the partial contribution Σ_{s∈Sources} δ(s,·)
 	Plan       *spgemm.Plan       // force a decomposition; nil = automatic search
@@ -129,6 +130,7 @@ func MFBCDistributed(g *graph.Graph, opt DistOptions) (*DistResult, error) {
 	stats, err := mach.Run(func(proc *machine.Proc) {
 		world := proc.World()
 		sess := spgemm.NewSession(proc)
+		sess.Workers = opt.Workers
 		shard := distmat.DistShard(p)
 		aMat := distmat.FromGlobal(proc.Rank(), adjCOO, shard, trop)
 		atMat := distmat.FromGlobal(proc.Rank(), atCOO, shard, trop)

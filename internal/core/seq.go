@@ -23,6 +23,10 @@ type Options struct {
 	// sweep: the time/memory trade-off of Algorithm 3. Batch ≤ 0 selects
 	// min(n, 128).
 	Batch int
+	// Workers is the shared-memory parallelism of the local SpGEMM
+	// kernels: 0 selects GOMAXPROCS, 1 forces the sequential kernels.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) batchFor(n int) int {
@@ -45,6 +49,13 @@ func (o Options) batchFor(n int) int {
 // It returns T together with the number of monoid operations performed and
 // the number of Bellman-Ford iterations (frontier relaxation rounds).
 func MFBF(a *sparse.CSR[float64], sources []int32) (*sparse.CSR[algebra.MultPath], int64, int) {
+	return MFBFParallel(a, sources, 1)
+}
+
+// MFBFParallel is MFBF with the frontier products row-blocked across
+// workers (sparse.MulParallel); its output is identical to MFBF for every
+// worker count. workers <= 0 selects GOMAXPROCS.
+func MFBFParallel(a *sparse.CSR[float64], sources []int32, workers int) (*sparse.CSR[algebra.MultPath], int64, int) {
 	mp := algebra.MultPathMonoid()
 	n := a.Cols
 	nb := len(sources)
@@ -68,7 +79,7 @@ func MFBF(a *sparse.CSR[float64], sources []int32) (*sparse.CSR[algebra.MultPath
 		if iters > a.Rows+1 {
 			panic("core: MFBF failed to converge; the graph has a nonpositive-weight cycle")
 		}
-		ext, o := sparse.Mul(frontier, a, algebra.BFAction, mp)
+		ext, o := sparse.MulParallel(frontier, a, algebra.BFAction, mp, workers)
 		ops += o
 		ext = dropDiagonal(ext, sources)
 		t = sparse.EWise(t, ext, mp)
@@ -139,13 +150,19 @@ func screenCent(p *sparse.CSR[algebra.CentPath], t *sparse.CSR[algebra.MultPath]
 // shortest-path-DAG children of each (s,v) pair (the semantics Lemma 4.2
 // requires); leaves seed the first frontier.
 func MFBr(at *sparse.CSR[float64], t *sparse.CSR[algebra.MultPath], sources []int32) (*sparse.CSR[algebra.CentPath], int64, int) {
+	return MFBrParallel(at, t, sources, 1)
+}
+
+// MFBrParallel is MFBr with the back-propagation products row-blocked
+// across workers; output identical to MFBr for every worker count.
+func MFBrParallel(at *sparse.CSR[float64], t *sparse.CSR[algebra.MultPath], sources []int32, workers int) (*sparse.CSR[algebra.CentPath], int64, int) {
 	cp := algebra.CentPathMonoid()
 
 	// Child counting: one generalized product of the T pattern with Aᵀ.
 	z0 := sparse.Map(t, cp, func(_, _ int32, v algebra.MultPath) algebra.CentPath {
 		return algebra.CentPath{W: v.W, P: 0, C: 1}
 	})
-	counts, ops := sparse.Mul(z0, at, algebra.BrandesAction, cp)
+	counts, ops := sparse.MulParallel(z0, at, algebra.BrandesAction, cp, workers)
 	counts = screenCent(counts, t)
 
 	// Z holds every T coordinate with its child counter; leaves (counter 0)
@@ -159,7 +176,7 @@ func MFBr(at *sparse.CSR[float64], t *sparse.CSR[algebra.MultPath], sources []in
 		if iters > at.Rows+1 {
 			panic("core: MFBr failed to converge; inconsistent shortest-path DAG")
 		}
-		p, o := sparse.Mul(frontier, at, algebra.BrandesAction, cp)
+		p, o := sparse.MulParallel(frontier, at, algebra.BrandesAction, cp, workers)
 		ops += o
 		p = screenCent(p, t)
 		z = sparse.EWise(z, p, cp)
@@ -240,8 +257,8 @@ func MFBC(g *graph.Graph, opt Options) (*Result, error) {
 			sources = append(sources, int32(s))
 		}
 		res.Batches++
-		t, opsF, itF := MFBF(a, sources)
-		z, opsB, itB := MFBr(at, t, sources)
+		t, opsF, itF := MFBFParallel(a, sources, opt.Workers)
+		z, opsB, itB := MFBrParallel(at, t, sources, opt.Workers)
 		res.Ops += opsF + opsB
 		res.Iterations += itF + itB
 		accumulate(res.BC, z, t)
@@ -252,8 +269,13 @@ func MFBC(g *graph.Graph, opt Options) (*Result, error) {
 // MFBCBatch runs a single batch for the given sources, accumulating
 // δ(s,v) = ζ(s,v)·σ̄(s,v) into bc. Used by the benchmark harness.
 func MFBCBatch(a, at *sparse.CSR[float64], sources []int32, bc []float64) (ops int64, iters int) {
-	t, opsF, itF := MFBF(a, sources)
-	z, opsB, itB := MFBr(at, t, sources)
+	return MFBCBatchParallel(a, at, sources, bc, 1)
+}
+
+// MFBCBatchParallel is MFBCBatch with worker-parallel local kernels.
+func MFBCBatchParallel(a, at *sparse.CSR[float64], sources []int32, bc []float64, workers int) (ops int64, iters int) {
+	t, opsF, itF := MFBFParallel(a, sources, workers)
+	z, opsB, itB := MFBrParallel(at, t, sources, workers)
 	accumulate(bc, z, t)
 	return opsF + opsB, itF + itB
 }

@@ -99,6 +99,7 @@ func SSSPDistributed(g *graph.Graph, sources []int32, opt DistOptions) (*SSSPRes
 	itersPer := make([]int, p)
 	stats, err := mach.Run(func(proc *machine.Proc) {
 		sess := spgemm.NewSession(proc)
+		sess.Workers = opt.Workers
 		shard := distmat.DistShard(p)
 		aMat := distmat.FromGlobal(proc.Rank(), adjCOO, shard, trop)
 		t, iters := distMFBF(sess, pl, aMat, adjCSR, sources, shard)

@@ -16,13 +16,21 @@ import (
 //	u v [w]
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# name %s\n", g.Name)
-	fmt.Fprintf(bw, "# nodes %d edges %d directed %v weighted %v\n", g.N, len(g.Edges), g.Directed, g.Weighted)
+	if _, err := fmt.Fprintf(bw, "# name %s\n", g.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d directed %v weighted %v\n", g.N, len(g.Edges), g.Directed, g.Weighted); err != nil {
+		return err
+	}
 	for _, e := range g.Edges {
+		var err error
 		if g.Weighted {
-			fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
 		} else {
-			fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+		if err != nil {
+			return err // first write error; don't keep formatting edges
 		}
 	}
 	return bw.Flush()

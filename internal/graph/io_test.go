@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// failAfterWriter errors once more than limit bytes have been attempted,
+// like a full disk partway through a write.
+type failAfterWriter struct {
+	limit   int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written += n
+		return n, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// bigGraph returns a graph whose edge list overflows bufio's 4 KiB buffer,
+// so write errors surface mid-loop rather than only at Flush.
+func bigGraph() *Graph {
+	g := &Graph{Name: "big", N: 2000}
+	for i := int32(0); i+1 < 2000; i++ {
+		g.Edges = append(g.Edges, Edge{U: i, V: i + 1, W: 1})
+	}
+	return g
+}
+
+// TestWriteEdgeListPropagatesWriteError: the first underlying write error
+// must be returned (previously only Flush's error surfaced, and a caller
+// retrying Flush could mistake a truncated file for success).
+func TestWriteEdgeListPropagatesWriteError(t *testing.T) {
+	err := WriteEdgeList(&failAfterWriter{limit: 6000}, bigGraph())
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteEdgeList = %v, want errDiskFull", err)
+	}
+}
+
+// TestWriteEdgeListErrorAtFlush: an error only the final flush hits (small
+// graph, everything buffered) must still be returned.
+func TestWriteEdgeListErrorAtFlush(t *testing.T) {
+	g := &Graph{Name: "tiny", N: 2, Edges: []Edge{{U: 0, V: 1, W: 1}}}
+	err := WriteEdgeList(&failAfterWriter{limit: 10}, g)
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteEdgeList = %v, want errDiskFull", err)
+	}
+}
+
+// TestWriteEdgeListRoundTrip guards the happy path after the error-handling
+// rework.
+func TestWriteEdgeListRoundTrip(t *testing.T) {
+	g := &Graph{Name: "rt", N: 4, Weighted: true, Edges: []Edge{
+		{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 0.25},
+	}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if got.N != g.N || len(got.Edges) != len(g.Edges) || !got.Weighted {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i, e := range got.Edges {
+		want := g.Edges[i]
+		if fmt.Sprint(e) != fmt.Sprint(want) {
+			t.Fatalf("edge %d = %v, want %v", i, e, want)
+		}
+	}
+}

@@ -279,6 +279,9 @@ func TestSingleProcDegenerate(t *testing.T) {
 }
 
 func TestCalibrateModel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("flop-rate calibration bounds are meaningless under race instrumentation")
+	}
 	base := DefaultModel()
 	tuned := CalibrateModel(base)
 	if tuned.Alpha != base.Alpha || tuned.Beta != base.Beta {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package machine
+
+// raceEnabled is false in uninstrumented builds; see race.go.
+const raceEnabled = false

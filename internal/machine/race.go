@@ -1,0 +1,9 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether this build is instrumented by the race
+// detector. Wall-clock calibration is meaningless under instrumentation
+// (every memory access pays a shadow-state check), so timing-based tests
+// consult this to relax or skip their bounds.
+const raceEnabled = true

@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/parallel"
+)
+
+// mulParallelMinRows is the row count below which MulParallel falls back to
+// the sequential kernel: with fewer rows than this the fork-join overhead
+// and the per-worker dense accumulators (each O(b.Cols)) outweigh any win.
+const mulParallelMinRows = 8
+
+// MulParallel computes the same generalized product as Mul using
+// Gustavson's algorithm row-blocked across workers: the output rows are
+// split into contiguous blocks (parallel.Ranges), each worker runs the
+// sequential kernel on its block with a private sparse accumulator, and the
+// per-block CSR fragments are stitched back in row order. Because every row
+// is computed by exactly the same code path as Mul and row order is
+// preserved, the result is bit-identical to Mul for any f and monoid.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 is exactly Mul. The
+// returned op count is the total f evaluations across all workers.
+func MulParallel[TA, TB, TC any](a *CSR[TA], b *CSR[TB], f func(TA, TB) TC, add algebra.Monoid[TC], workers int) (*CSR[TC], int64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	workers = parallel.Resolve(workers)
+	if workers <= 1 || a.Rows < mulParallelMinRows {
+		return Mul(a, b, f, add)
+	}
+	type frag struct {
+		colIdx []int32
+		val    []TC
+		rowNNZ []int64 // nonzeros per row of the block
+	}
+	ranges := parallel.Ranges(a.Rows, workers)
+	frags := make([]frag, len(ranges))
+	var ops atomic.Int64
+	parallel.For(len(ranges), len(ranges), func(part, _, _ int) {
+		colIdx, val, rowNNZ, local := mulRowRange(a, b, ranges[part][0], ranges[part][1], f, add)
+		frags[part] = frag{colIdx: colIdx, val: val, rowNNZ: rowNNZ}
+		ops.Add(local)
+	})
+
+	// Stitch: fragments cover disjoint ascending row blocks, so prefix-sum
+	// the per-row counts into RowPtr and concatenate values in block order.
+	out := &CSR[TC]{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
+	total := 0
+	for _, fr := range frags {
+		total += len(fr.colIdx)
+	}
+	out.ColIdx = make([]int32, 0, total)
+	out.Val = make([]TC, 0, total)
+	for part, fr := range frags {
+		lo := ranges[part][0]
+		for r, nnz := range fr.rowNNZ {
+			out.RowPtr[lo+r+1] = out.RowPtr[lo+r] + nnz
+		}
+		out.ColIdx = append(out.ColIdx, fr.colIdx...)
+		out.Val = append(out.Val, fr.val...)
+	}
+	return out, ops.Load()
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+var workerCounts = []int{0, 1, 2, 3, 4, 8, 17}
+
+// randCSRFloat builds a random tropical-weight matrix with the given shape
+// and fill.
+func randCSRFloat(rows, cols, nnz int, seed int64) *CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO[float64](rows, cols)
+	for i := 0; i < nnz; i++ {
+		coo.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), 1+float64(rng.Intn(9)))
+	}
+	return FromCOO(coo, algebra.TropicalMonoid())
+}
+
+// mustEqual asserts structural and bit-exact value equality.
+func mustEqual[T comparable](t *testing.T, got, want *CSR[T], label string) {
+	t.Helper()
+	if !Equal(got, want, func(a, b T) bool { return a == b }) {
+		t.Fatalf("%s: parallel result differs from sequential", label)
+	}
+	// RowPtr must match exactly too (Equal checks per-row slices).
+	for i := range want.RowPtr {
+		if got.RowPtr[i] != want.RowPtr[i] {
+			t.Fatalf("%s: RowPtr[%d] = %d, want %d", label, i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+}
+
+// TestMulParallelTropical checks exact equality on the tropical monoid
+// (min-plus) across worker counts and random shapes.
+func TestMulParallelTropical(t *testing.T) {
+	trop := algebra.TropicalMonoid()
+	times := func(a, b float64) float64 { return a + b }
+	for _, tc := range []struct{ m, k, n, nnzA, nnzB int }{
+		{50, 40, 30, 200, 150},
+		{128, 128, 128, 1000, 1000},
+		{7, 300, 11, 60, 500},
+	} {
+		a := randCSRFloat(tc.m, tc.k, tc.nnzA, int64(tc.m))
+		b := randCSRFloat(tc.k, tc.n, tc.nnzB, int64(tc.n))
+		want, wantOps := Mul(a, b, times, trop)
+		ref := MulRef(a, b, times, trop)
+		mustEqual(t, want, ref, "Mul vs MulRef")
+		for _, w := range workerCounts {
+			got, ops := MulParallel(a, b, times, trop, w)
+			mustEqual(t, got, want, "tropical")
+			if ops != wantOps {
+				t.Fatalf("workers=%d: ops=%d, want %d", w, ops, wantOps)
+			}
+		}
+	}
+}
+
+// TestMulParallelMultPath checks the Bellman-Ford action over the multpath
+// monoid, the shape MFBF actually multiplies.
+func TestMulParallelMultPath(t *testing.T) {
+	mp := algebra.MultPathMonoid()
+	rng := rand.New(rand.NewSource(7))
+	const nb, n = 40, 120
+	fcoo := NewCOO[algebra.MultPath](nb, n)
+	for i := 0; i < 400; i++ {
+		fcoo.Append(int32(rng.Intn(nb)), int32(rng.Intn(n)),
+			algebra.MultPath{W: float64(1 + rng.Intn(5)), M: float64(1 + rng.Intn(3))})
+	}
+	f := FromCOO(fcoo, mp)
+	a := randCSRFloat(n, n, 800, 11)
+	want, wantOps := Mul(f, a, algebra.BFAction, mp)
+	for _, w := range workerCounts {
+		got, ops := MulParallel(f, a, algebra.BFAction, mp, w)
+		mustEqual(t, got, want, "multpath")
+		if ops != wantOps {
+			t.Fatalf("workers=%d: ops=%d, want %d", w, ops, wantOps)
+		}
+	}
+}
+
+// TestMulParallelCountMonoid covers a monoid whose zero (0) is actually
+// produced by cancellation-free addition of empty products.
+func TestMulParallelCountMonoid(t *testing.T) {
+	count := algebra.CountMonoid()
+	times := func(a, b float64) float64 { return a * b }
+	a := randCSRFloat(64, 64, 400, 3)
+	b := randCSRFloat(64, 64, 400, 4)
+	want, _ := Mul(a, b, times, count)
+	for _, w := range workerCounts {
+		got, _ := MulParallel(a, b, times, count, w)
+		mustEqual(t, got, want, "count")
+	}
+}
+
+// TestMulParallelEdgeShapes exercises empty matrices, empty rows, and the
+// degenerate 1×n and n×1 shapes.
+func TestMulParallelEdgeShapes(t *testing.T) {
+	trop := algebra.TropicalMonoid()
+	times := func(a, b float64) float64 { return a + b }
+
+	// Fully empty operands.
+	empty := FromCOO(NewCOO[float64](30, 20), trop)
+	emptyB := FromCOO(NewCOO[float64](20, 10), trop)
+	for _, w := range workerCounts {
+		got, ops := MulParallel(empty, emptyB, times, trop, w)
+		if got.NNZ() != 0 || ops != 0 || got.Rows != 30 || got.Cols != 10 {
+			t.Fatalf("workers=%d: empty product wrong: nnz=%d ops=%d", w, got.NNZ(), ops)
+		}
+	}
+
+	// Empty rows interleaved with dense rows: rows 0, 2, 4, ... empty.
+	coo := NewCOO[float64](40, 40)
+	for i := int32(1); i < 40; i += 2 {
+		for j := int32(0); j < 40; j += 3 {
+			coo.Append(i, j, float64(i+j))
+		}
+	}
+	sparseRows := FromCOO(coo, trop)
+	b := randCSRFloat(40, 40, 300, 9)
+	want, _ := Mul(sparseRows, b, times, trop)
+	for _, w := range workerCounts {
+		got, _ := MulParallel(sparseRows, b, times, trop, w)
+		mustEqual(t, got, want, "empty-rows")
+	}
+
+	// 1×n times n×n (single row: must fall back or still match).
+	rowVec := randCSRFloat(1, 50, 30, 5)
+	sq := randCSRFloat(50, 50, 250, 6)
+	wantRow, _ := Mul(rowVec, sq, times, trop)
+	// n×1 result shape.
+	colVec := randCSRFloat(50, 1, 30, 8)
+	wantCol, _ := Mul(sq, colVec, times, trop)
+	for _, w := range workerCounts {
+		gotRow, _ := MulParallel(rowVec, sq, times, trop, w)
+		mustEqual(t, gotRow, wantRow, "1xn")
+		gotCol, _ := MulParallel(sq, colVec, times, trop, w)
+		mustEqual(t, gotCol, wantCol, "nx1")
+	}
+}
+
+// TestMulParallelDimensionMismatchPanics mirrors Mul's contract.
+func TestMulParallelDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	trop := algebra.TropicalMonoid()
+	a := randCSRFloat(4, 5, 3, 1)
+	b := randCSRFloat(6, 4, 3, 2)
+	MulParallel(a, b, func(x, y float64) float64 { return x + y }, trop, 2)
+}

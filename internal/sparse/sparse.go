@@ -196,12 +196,30 @@ func Mul[TA, TB, TC any](a *CSR[TA], b *CSR[TB], f func(TA, TB) TC, add algebra.
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("sparse: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := &CSR[TC]{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
+	colIdx, val, rowNNZ, ops := mulRowRange(a, b, 0, a.Rows, f, add)
+	out := &CSR[TC]{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1), ColIdx: colIdx, Val: val}
+	for i, nnz := range rowNNZ {
+		out.RowPtr[i+1] = out.RowPtr[i] + nnz
+	}
+	return out, ops
+}
+
+// mulRowRange runs Gustavson's kernel with a sparse accumulator over rows
+// [lo, hi) of a, returning the concatenated column indices and values, the
+// per-row nonzero counts, and the number of f evaluations. It is the single
+// implementation behind both Mul and MulParallel: the parallel variant calls
+// it once per row block, which is what guarantees bit-identical output.
+func mulRowRange[TA, TB, TC any](a *CSR[TA], b *CSR[TB], lo, hi int, f func(TA, TB) TC, add algebra.Monoid[TC]) ([]int32, []TC, []int64, int64) {
+	var (
+		colIdx []int32
+		val    []TC
+	)
+	rowNNZ := make([]int64, hi-lo)
 	spa := make([]TC, b.Cols)
 	occupied := make([]bool, b.Cols)
 	var touched []int32
 	var ops int64
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		acols, avals := a.Row(i)
 		touched = touched[:0]
 		for k, ak := range acols {
@@ -220,16 +238,17 @@ func Mul[TA, TB, TC any](a *CSR[TA], b *CSR[TB], f func(TA, TB) TC, add algebra.
 			}
 		}
 		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		nnzBefore := len(colIdx)
 		for _, j := range touched {
 			if !add.IsZero(spa[j]) {
-				out.ColIdx = append(out.ColIdx, j)
-				out.Val = append(out.Val, spa[j])
+				colIdx = append(colIdx, j)
+				val = append(val, spa[j])
 			}
 			occupied[j] = false
 		}
-		out.RowPtr[i+1] = int64(len(out.ColIdx))
+		rowNNZ[i-lo] = int64(len(colIdx) - nnzBefore)
 	}
-	return out, ops
+	return colIdx, val, rowNNZ, ops
 }
 
 // MulRef is a reference triple-loop implementation of Mul used by property

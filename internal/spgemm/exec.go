@@ -3,10 +3,12 @@ package spgemm
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/distmat"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -17,9 +19,30 @@ import (
 // adjacency-matrix replication of MFBC is paid once and amortized over all
 // iterations and batches, as in the proof of Theorem 5.1.
 type Session struct {
-	Proc  *machine.Proc
-	grids map[[3]int]*machine.Grid3
-	cache map[string]any
+	Proc *machine.Proc
+	// Workers is the shared-memory parallelism of this rank's local
+	// kernels (stage multiplies, sorts, merges): 0 selects this rank's
+	// fair share of the host cores (GOMAXPROCS divided by the world
+	// size, at least 1 — all p ranks run concurrently, so giving each
+	// rank all cores would oversubscribe the host p-fold), 1 forces the
+	// sequential kernels. Parallel kernels produce output identical to
+	// their sequential counterparts, so results never depend on this
+	// knob.
+	Workers int
+	grids   map[[3]int]*machine.Grid3
+	cache   map[string]any
+}
+
+// workers resolves the Workers knob for this rank; see the field comment.
+func (s *Session) workers() int {
+	if s.Workers != 0 {
+		return parallel.Resolve(s.Workers)
+	}
+	w := parallel.Resolve(0) / s.Proc.World().Size()
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // NewSession creates a session for this processor.
@@ -197,18 +220,22 @@ func Multiply[TA, TB, TC any](
 	m, k, n := a.Rows, a.Cols, b.Cols
 	g := s.Grid(plan.P1, plan.P2, plan.P3)
 	da, db, dc := Dists(plan, m, k, n)
+	workers := s.workers()
 
 	// Stage the A operand (moving in every variant).
 	aw := distmat.Redistribute(world, a, da, addA)
 	aE := aw.Local
 	if plan.P1 > 1 && plan.X == RoleA {
 		aE = machine.AllgatherConcat(g.Fiber, aE)
-		distmat.SortEntries(aE)
+		distmat.SortEntriesParallel(aE, workers)
 	}
 
 	// Stage the B operand, with optional caching of the stationary matrix.
+	// The key uses the matrix's process-unique ID (not its address): an
+	// address can be recycled by the allocator after the matrix dies, which
+	// would silently alias the cache to stale entries.
 	var bE []sparse.Entry[TB]
-	cacheKey := fmt.Sprintf("B:%p:%s:%dx%d", b, plan, k, n)
+	cacheKey := fmt.Sprintf("B:%d:%s:%dx%d", b.ID(), plan, k, n)
 	if cacheB {
 		if v, ok := s.cache[cacheKey]; ok {
 			bE = v.([]sparse.Entry[TB])
@@ -219,7 +246,7 @@ func Multiply[TA, TB, TC any](
 		bE = bw.Local
 		if plan.P1 > 1 && plan.X == RoleB {
 			bE = machine.AllgatherConcat(g.Fiber, bE)
-			distmat.SortEntries(bE)
+			distmat.SortEntriesParallel(bE, workers)
 		}
 		if cacheB {
 			s.cache[cacheKey] = bE
@@ -230,11 +257,11 @@ func Multiply[TA, TB, TC any](
 	var c []sparse.Entry[TC]
 	switch plan.YZ {
 	case VarAB:
-		c = runAB(s.Proc, g, plan, r, aE, bE, f, add)
+		c = runAB(s.Proc, g, plan, r, aE, bE, f, add, workers)
 	case VarAC:
-		c = runAC(s.Proc, g, plan, r, aE, bE, f, add)
+		c = runAC(s.Proc, g, plan, r, aE, bE, f, add, workers)
 	default:
-		c = runBC(s.Proc, g, plan, r, aE, bE, f, add)
+		c = runBC(s.Proc, g, plan, r, aE, bE, f, add, workers)
 	}
 
 	if plan.P1 > 1 && plan.X == RoleC {
@@ -242,7 +269,7 @@ func Multiply[TA, TB, TC any](
 		// layer; reduce over the fiber to the rotating root layer.
 		rootLayer := (g.G2.MyR*plan.P3 + g.G2.MyC) % plan.P1
 		red := machine.ReduceSlices(g.Fiber, rootLayer, c, func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] {
-			return distmat.MergeSorted(x, y, add)
+			return distmat.MergeSortedParallel(x, y, add, workers)
 		})
 		if g.MyLayer == rootLayer {
 			c = red
@@ -274,7 +301,7 @@ func bucketByStage[T any](es []sparse.Entry[T], s int, stageOf func(sparse.Entry
 func runAB[TA, TB, TC any](
 	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
 	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
-	f func(TA, TB) TC, add algebra.Monoid[TC],
+	f func(TA, TB) TC, add algebra.Monoid[TC], workers int,
 ) []sparse.Entry[TC] {
 	s := plan.Stages()
 	aStage := bucketByStage(aE, s, func(e sparse.Entry[TA]) int { return partIn(e.J, r.k0, r.k1, s) })
@@ -284,9 +311,9 @@ func runAB[TA, TB, TC any](
 		aBlk := machine.Bcast(g.G2.Row, t%plan.P3, aStage[t])
 		bBlk := machine.Bcast(g.G2.Col, t%plan.P2, bStage[t])
 		kb0, kb1 := stageBounds(t, r.k0, r.k1, s)
-		prod, ops := mulEntries(aBlk, bBlk, kb0, kb1, f, add)
+		prod, ops := mulEntriesParallel(aBlk, bBlk, kb0, kb1, f, add, workers)
 		proc.AddFlops(ops)
-		acc = distmat.MergeSorted(acc, prod, add)
+		acc = distmat.MergeSortedParallel(acc, prod, add, workers)
 	}
 	return acc
 }
@@ -296,16 +323,16 @@ func runAB[TA, TB, TC any](
 func runAC[TA, TB, TC any](
 	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
 	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
-	f func(TA, TB) TC, add algebra.Monoid[TC],
+	f func(TA, TB) TC, add algebra.Monoid[TC], workers int,
 ) []sparse.Entry[TC] {
 	s := plan.Stages()
 	aStage := bucketByStage(aE, s, func(e sparse.Entry[TA]) int { return partIn(e.I, r.m0, r.m1, s) })
 	kb0, kb1 := stageBounds(g.G2.MyR, r.k0, r.k1, plan.P2)
 	var acc []sparse.Entry[TC]
-	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSorted(x, y, add) }
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSortedParallel(x, y, add, workers) }
 	for t := 0; t < s; t++ {
 		aBlk := machine.Bcast(g.G2.Row, t%plan.P3, aStage[t])
-		prod, ops := mulEntries(aBlk, bE, kb0, kb1, f, add)
+		prod, ops := mulEntriesParallel(aBlk, bE, kb0, kb1, f, add, workers)
 		proc.AddFlops(ops)
 		red := machine.ReduceSlices(g.G2.Col, t%plan.P2, prod, merge)
 		if g.G2.MyR == t%plan.P2 {
@@ -320,23 +347,90 @@ func runAC[TA, TB, TC any](
 func runBC[TA, TB, TC any](
 	proc *machine.Proc, g *machine.Grid3, plan Plan, r ranges,
 	aE []sparse.Entry[TA], bE []sparse.Entry[TB],
-	f func(TA, TB) TC, add algebra.Monoid[TC],
+	f func(TA, TB) TC, add algebra.Monoid[TC], workers int,
 ) []sparse.Entry[TC] {
 	s := plan.Stages()
 	bStage := bucketByStage(bE, s, func(e sparse.Entry[TB]) int { return partIn(e.J, r.n0, r.n1, s) })
 	kb0, kb1 := stageBounds(g.G2.MyC, r.k0, r.k1, plan.P3)
 	var acc []sparse.Entry[TC]
-	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSorted(x, y, add) }
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSortedParallel(x, y, add, workers) }
 	for t := 0; t < s; t++ {
 		bBlk := machine.Bcast(g.G2.Col, t%plan.P2, bStage[t])
-		prod, ops := mulEntries(aE, bBlk, kb0, kb1, f, add)
+		prod, ops := mulEntriesParallel(aE, bBlk, kb0, kb1, f, add, workers)
 		proc.AddFlops(ops)
 		red := machine.ReduceSlices(g.G2.Row, t%plan.P3, prod, merge)
 		if g.G2.MyC == t%plan.P3 {
-			acc = distmat.MergeSorted(acc, red, add) // stage columns interleave rows
+			acc = distmat.MergeSortedParallel(acc, red, add, workers) // stage columns interleave rows
 		}
 	}
 	return acc
+}
+
+// mulEntriesMinEntries is the A-entry count below which mulEntriesParallel
+// runs sequentially (distinct from sparse.mulParallelMinRows, which gates
+// on CSR row count; here A is a coordinate list).
+const mulEntriesMinEntries = 8
+
+// mulEntriesParallel computes the same product as mulEntries with A's rows
+// blocked across workers: chunk boundaries are aligned to row breaks, each
+// worker runs the row-wise kernel on its chunk against the shared B index,
+// and the row-disjoint sorted outputs are concatenated in row order — so
+// the result is identical to the sequential kernel.
+func mulEntriesParallel[TA, TB, TC any](
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB], k0, k1 int32,
+	f func(TA, TB) TC, add algebra.Monoid[TC], workers int,
+) ([]sparse.Entry[TC], int64) {
+	if len(aE) == 0 || len(bE) == 0 {
+		return nil, 0
+	}
+	if workers <= 1 || len(aE) < mulEntriesMinEntries {
+		return mulEntries(aE, bE, k0, k1, f, add)
+	}
+	// Align the even split of aE to row boundaries (entries are row-sorted).
+	bounds := []int{0}
+	for _, r := range parallel.Ranges(len(aE), workers)[1:] {
+		cut := r[0]
+		for cut < len(aE) && cut > 0 && aE[cut].I == aE[cut-1].I {
+			cut++
+		}
+		if cut > bounds[len(bounds)-1] && cut < len(aE) {
+			bounds = append(bounds, cut)
+		}
+	}
+	bounds = append(bounds, len(aE))
+	if len(bounds) <= 2 {
+		return mulEntries(aE, bE, k0, k1, f, add)
+	}
+	offs := indexRows(bE, k0, k1)
+	chunks := make([][]sparse.Entry[TC], len(bounds)-1)
+	var ops atomic.Int64
+	parallel.For(len(chunks), len(chunks), func(part, _, _ int) {
+		out, n := mulEntriesRange(aE[bounds[part]:bounds[part+1]], bE, offs, k0, k1, f, add)
+		chunks[part] = out
+		ops.Add(n)
+	})
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]sparse.Entry[TC], 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, ops.Load()
+}
+
+// indexRows builds the CSR-style row offsets of bE over [k0, k1).
+func indexRows[TB any](bE []sparse.Entry[TB], k0, k1 int32) []int32 {
+	nk := int(k1 - k0)
+	offs := make([]int32, nk+1)
+	for _, e := range bE {
+		offs[e.I-k0+1]++
+	}
+	for i := 0; i < nk; i++ {
+		offs[i+1] += offs[i]
+	}
+	return offs
 }
 
 // mulEntries multiplies two coordinate blocks: aE's columns and bE's rows
@@ -349,15 +443,15 @@ func mulEntries[TA, TB, TC any](
 	if len(aE) == 0 || len(bE) == 0 {
 		return nil, 0
 	}
-	// Index bE rows within [k0, k1).
-	nk := int(k1 - k0)
-	offs := make([]int32, nk+1)
-	for _, e := range bE {
-		offs[e.I-k0+1]++
-	}
-	for i := 0; i < nk; i++ {
-		offs[i+1] += offs[i]
-	}
+	return mulEntriesRange(aE, bE, indexRows(bE, k0, k1), k0, k1, f, add)
+}
+
+// mulEntriesRange is the row-wise kernel over one contiguous chunk of A
+// entries (whole rows) against the shared B row index.
+func mulEntriesRange[TA, TB, TC any](
+	aE []sparse.Entry[TA], bE []sparse.Entry[TB], offs []int32, k0, k1 int32,
+	f func(TA, TB) TC, add algebra.Monoid[TC],
+) ([]sparse.Entry[TC], int64) {
 	var out []sparse.Entry[TC]
 	var ops int64
 	type jv struct {

@@ -71,6 +71,13 @@ type Options struct {
 	// Batch is n_b, the number of sources per sweep (Algorithm 3's
 	// time/memory trade-off). ≤0 selects min(n, 128).
 	Batch int
+	// Workers is the shared-memory parallelism of the local sparse
+	// kernels on each (simulated) processor: 0 selects all host cores —
+	// GOMAXPROCS on the sequential path, divided fairly across ranks on
+	// distributed runs (they execute concurrently) — and 1 forces the
+	// sequential kernels. Scores are identical for every worker count;
+	// only wall time changes.
+	Workers int
 	// Sources restricts the computation to one batch; BC then holds the
 	// partial sums Σ_{s∈Sources} δ(s,·) (benchmark mode).
 	Sources []int32
@@ -127,7 +134,7 @@ func Compute(g *Graph, opt Options) (*Result, error) {
 		}
 	case EngineMFBC:
 		if procs == 1 && opt.Plan == nil && opt.Sources == nil {
-			r, err := core.MFBC(g, core.Options{Batch: opt.Batch})
+			r, err := core.MFBC(g, core.Options{Batch: opt.Batch, Workers: opt.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +142,7 @@ func Compute(g *Graph, opt Options) (*Result, error) {
 			res.Iterations = r.Iterations
 		} else {
 			r, err := core.MFBCDistributed(g, core.DistOptions{
-				Procs: procs, Batch: opt.Batch, Sources: opt.Sources,
+				Procs: procs, Workers: opt.Workers, Batch: opt.Batch, Sources: opt.Sources,
 				Plan: opt.Plan, Constraint: opt.Constraint, Model: opt.Model,
 			})
 			if err != nil {
@@ -224,7 +231,7 @@ func ShortestPaths(g *Graph, sources []int32, opt Options) (*SSSPResult, error) 
 		return core.SSSP(g, sources)
 	}
 	res, _, err := core.SSSPDistributed(g, sources, core.DistOptions{
-		Procs: procs, Plan: opt.Plan, Constraint: opt.Constraint, Model: opt.Model,
+		Procs: procs, Workers: opt.Workers, Plan: opt.Plan, Constraint: opt.Constraint, Model: opt.Model,
 	})
 	return res, err
 }

@@ -41,6 +41,32 @@ func TestEnginesAgree(t *testing.T) {
 	}
 }
 
+// TestWorkersKnobInvariant: the public Workers knob must not change scores
+// in any engine path (sequential fast path, simulated distributed, and
+// against the Brandes oracle).
+func TestWorkersKnobInvariant(t *testing.T) {
+	g := RMATGraph(7, 8, 3)
+	oracle, err := Compute(g, Options{Engine: EngineBrandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{
+		{Engine: EngineMFBC, Workers: 4},
+		{Engine: EngineMFBC, Workers: 0},
+		{Engine: EngineMFBC, Procs: 4, Workers: 3},
+	} {
+		res, err := Compute(g, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		for v := range oracle.BC {
+			if !almostEqual(res.BC[v], oracle.BC[v]) {
+				t.Fatalf("workers=%d p=%d: BC[%d]=%g want %g", opt.Workers, opt.Procs, v, res.BC[v], oracle.BC[v])
+			}
+		}
+	}
+}
+
 func TestWeightedOnlyMFBC(t *testing.T) {
 	g := GridGraph(5, 5, 9, 1)
 	oracle, err := Compute(g, Options{Engine: EngineBrandes})
