@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/server"
+)
+
+// TestEndToEndSession drives the production wiring (buildServer + NewMux)
+// through a full client session: load a graph, query exact, query
+// approximate, extract top-k, repeat to observe cache-hit metadata, evict.
+func TestEndToEndSession(t *testing.T) {
+	// A preloaded graph, as -preload would register it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "social.txt")
+	g := repro.RMATGraph(6, 8, 42)
+	if err := repro.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(1, 64, "social="+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewMux(s))
+	defer ts.Close()
+
+	post := func(path string, body any, wantStatus int, out any) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST %s: status %d want %d", path, resp.StatusCode, wantStatus)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// 1. Load a second graph over HTTP.
+	var info server.GraphInfo
+	post("/graphs/road", server.GraphSpec{Kind: "grid", Rows: 6, Cols: 6, MaxWeight: 5, Seed: 7}, http.StatusCreated, &info)
+	if info.N != 36 || !info.Weighted {
+		t.Fatalf("loaded graph = %+v", info)
+	}
+
+	// 2. Exact query on the preloaded graph, full scores.
+	var exact server.QueryResult
+	post("/query", server.QueryRequest{Graph: "social", IncludeScores: true, K: 5}, http.StatusOK, &exact)
+	if exact.Stats.CacheHit || len(exact.TopK) != 5 || len(exact.Scores) != g.N {
+		t.Fatalf("exact query = %+v", exact.Stats)
+	}
+	oracle, err := repro.Compute(g, repro.Options{Engine: repro.EngineBrandes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range oracle.BC {
+		got := exact.Scores[v]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("served score[%d]=%g want %g", v, got, want)
+		}
+	}
+
+	// 3. Approximate query: cheap path, distinct cache entry.
+	var approx server.QueryResult
+	post("/query", server.QueryRequest{Graph: "social", Samples: 8, Seed: 1, K: 3}, http.StatusOK, &approx)
+	if approx.Stats.CacheHit || approx.Samples != 8 || len(approx.TopK) != 3 {
+		t.Fatalf("approximate query = %+v", approx)
+	}
+
+	// 4. Top-k only repeat of the exact query: cache hit, same ranking.
+	var repeat server.QueryResult
+	post("/query", server.QueryRequest{Graph: "social", K: 5}, http.StatusOK, &repeat)
+	if !repeat.Stats.CacheHit {
+		t.Fatalf("repeat query must report cache_hit: %+v", repeat.Stats)
+	}
+	for i := range repeat.TopK {
+		if repeat.TopK[i] != exact.TopK[i] {
+			t.Fatalf("cached ranking diverged: %+v vs %+v", repeat.TopK, exact.TopK)
+		}
+	}
+
+	// 5. Evict and confirm the graph is gone.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/social", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("evict status %d", resp.StatusCode)
+	}
+	post("/query", server.QueryRequest{Graph: "social"}, http.StatusNotFound, nil)
+
+	// The other graph is untouched.
+	post("/query", server.QueryRequest{Graph: "road", K: 1}, http.StatusOK, nil)
+}
+
+func TestBuildServerPreloadErrors(t *testing.T) {
+	if _, err := buildServer(1, 0, "badentry"); err == nil {
+		t.Fatal("malformed -preload entry must fail")
+	}
+	if _, err := buildServer(1, 0, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing preload file must fail")
+	}
+	s, err := buildServer(1, 0, " ")
+	if err != nil || len(s.Graphs()) != 0 {
+		t.Fatalf("blank preload must yield an empty registry: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewMux returns the HTTP/JSON API over s, the front end served by
+// cmd/mfbc-serve:
+//
+//	GET    /healthz          liveness probe
+//	GET    /stats            cumulative server counters
+//	GET    /graphs           list registered graphs
+//	POST   /graphs/{name}    register a graph from a GraphSpec body
+//	GET    /graphs/{name}    describe one graph
+//	DELETE /graphs/{name}    evict a graph (and its cached results)
+//	POST   /query            answer a QueryRequest body with a QueryResult
+//
+// Every response body is JSON; errors are {"error": "..."} with a 4xx/5xx
+// status (404 for unknown graphs, 400 for malformed requests).
+func NewMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
+	})
+
+	mux.HandleFunc("POST /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var spec GraphSpec
+		if err := decodeJSON(r, &spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := s.GenerateGraph(r.PathValue("name"), spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.GraphInfoFor(r.PathValue("name"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Evict(r.PathValue("name")); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.Query(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	return mux
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, ErrGraphNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var msg map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&msg)
+		t.Fatalf("%s %s: status %d want %d (%v)", method, path, resp.StatusCode, wantStatus, msg)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHTTPRoutes(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	var health map[string]string
+	doJSON(t, ts, "GET", "/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	var created GraphInfo
+	doJSON(t, ts, "POST", "/graphs/demo",
+		GraphSpec{Kind: "uniform", N: 40, M: 160, Seed: 1}, http.StatusCreated, &created)
+	if created.Name != "demo" || created.N != 40 || created.Version == 0 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	var got GraphInfo
+	doJSON(t, ts, "GET", "/graphs/demo", nil, http.StatusOK, &got)
+	if got != created {
+		t.Fatalf("GET %+v != POST %+v", got, created)
+	}
+
+	var listing struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	doJSON(t, ts, "GET", "/graphs", nil, http.StatusOK, &listing)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "demo" {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	var res QueryResult
+	doJSON(t, ts, "POST", "/query",
+		QueryRequest{Graph: "demo", K: 5}, http.StatusOK, &res)
+	if len(res.TopK) != 5 || res.Version != created.Version {
+		t.Fatalf("query = %+v", res)
+	}
+
+	var stats Stats
+	doJSON(t, ts, "GET", "/stats", nil, http.StatusOK, &stats)
+	if stats.Graphs != 1 || stats.Computes != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	doJSON(t, ts, "DELETE", "/graphs/demo", nil, http.StatusNoContent, nil)
+
+	// Error surface: unknown graph is 404, malformed/unknown input is 400.
+	var errBody map[string]string
+	doJSON(t, ts, "GET", "/graphs/demo", nil, http.StatusNotFound, &errBody)
+	if errBody["error"] == "" {
+		t.Fatal("errors must carry an error message")
+	}
+	doJSON(t, ts, "DELETE", "/graphs/demo", nil, http.StatusNotFound, nil)
+	doJSON(t, ts, "POST", "/query", QueryRequest{Graph: "demo"}, http.StatusNotFound, nil)
+	doJSON(t, ts, "POST", "/graphs/x", GraphSpec{Kind: "nope"}, http.StatusBadRequest, nil)
+	doJSON(t, ts, "POST", "/graphs/x", map[string]any{"kind": "rmat", "bogus": 1}, http.StatusBadRequest, nil)
+	doJSON(t, ts, "POST", "/query", map[string]any{"graph": "demo", "k": "five"}, http.StatusBadRequest, nil)
+}
+
+func TestHTTPWeightedAndStandinSpecs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	var grid GraphInfo
+	doJSON(t, ts, "POST", "/graphs/road",
+		GraphSpec{Kind: "grid", Rows: 5, Cols: 6, MaxWeight: 9, Seed: 2}, http.StatusCreated, &grid)
+	if !grid.Weighted || grid.N != 30 {
+		t.Fatalf("grid = %+v", grid)
+	}
+
+	var rmat GraphInfo
+	doJSON(t, ts, "POST", "/graphs/social",
+		GraphSpec{Kind: "rmat", Scale: 6, EdgeFactor: 6, Seed: 3, Weights: 10}, http.StatusCreated, &rmat)
+	if !rmat.Weighted {
+		t.Fatalf("rmat with weights overlay = %+v", rmat)
+	}
+
+	// Weighted graphs route to MFBC fine but must fail loudly on combblas.
+	var res QueryResult
+	doJSON(t, ts, "POST", "/query", QueryRequest{Graph: "road", K: 3}, http.StatusOK, &res)
+	if len(res.TopK) != 3 {
+		t.Fatalf("weighted query = %+v", res)
+	}
+	doJSON(t, ts, "POST", "/query",
+		QueryRequest{Graph: "road", Engine: "combblas"}, http.StatusBadRequest, nil)
+
+	for _, kind := range []string{"rmat", "uniform", "grid", "file"} {
+		doJSON(t, ts, "POST", "/graphs/bad", GraphSpec{Kind: kind}, http.StatusBadRequest, nil)
+	}
+}

@@ -1,0 +1,443 @@
+// Package server is an embeddable, concurrency-safe betweenness-centrality
+// query service on top of the repro engines.
+//
+// It keeps a registry of named graphs (loaded from edge-list files,
+// generated on demand, or handed in by the embedding program), a bounded
+// LRU cache of computed results keyed by the graph's structural version and
+// every score-relevant query parameter, and single-flight deduplication so
+// N concurrent identical queries trigger exactly one underlying compute —
+// the expensive SpGEMM sweeps are amortized across all callers.
+//
+// Queries support exact BC on any engine, sampling-based approximate BC
+// (the Bader et al. estimator via repro.ApproximateBC) as the cheap path
+// for interactive use, top-k extraction, and per-query stats: cache hit,
+// request coalescing, compute wall time, and the modeled communication
+// report of distributed runs.
+//
+// cmd/mfbc-serve wraps this package in an HTTP/JSON front end (see http.go
+// for the routes).
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// ErrGraphNotFound is returned by Query and Evict when the named graph is
+// not registered.
+var ErrGraphNotFound = errors.New("server: graph not found")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the shared-memory parallelism handed to every compute
+	// (repro.Options.Workers): 0 = all host cores, 1 = sequential kernels.
+	// One knob for the whole server keeps many concurrent queries from
+	// oversubscribing the host.
+	Workers int
+	// CacheSize bounds the result cache (LRU eviction). 0 selects the
+	// default of 256 entries; negative disables caching (every query
+	// computes, though concurrent identical queries still coalesce).
+	CacheSize int
+}
+
+const defaultCacheSize = 256
+
+// Server is the query service. All methods are safe for concurrent use.
+type Server struct {
+	workers   int
+	cacheSize int
+
+	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
+	// replaceable by tests to observe or stall computations.
+	computeExact  func(*repro.Graph, repro.Options) (*repro.Result, error)
+	computeApprox func(*repro.Graph, int, int64, repro.Options) (*repro.Result, error)
+
+	mu     sync.Mutex
+	graphs map[string]*graphEntry
+	cache  map[string]*list.Element // cache key → element of lru
+	lru    *list.List               // front = most recently used *cacheEntry
+	flight map[string]*flightCall   // cache key → in-flight computation
+	stats  Stats
+}
+
+type graphEntry struct {
+	g        *repro.Graph
+	version  uint64 // repro.Fingerprint at registration
+	loadedAt time.Time
+}
+
+type cacheEntry struct {
+	key   string
+	graph string        // registry name, for purge on eviction/replacement
+	res   *repro.Result // immutable once stored; BC is never written again
+	wall  time.Duration // wall time of the compute that produced it
+}
+
+// flightCall is one in-flight computation; waiters block on done. entry and
+// err are written exactly once before done is closed.
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// Stats is a snapshot of cumulative server counters.
+type Stats struct {
+	Graphs       int   `json:"graphs"`        // registered graphs
+	CacheEntries int   `json:"cache_entries"` // resident cached results
+	InFlight     int   `json:"in_flight"`     // computations running now
+	Queries      int64 `json:"queries"`       // total Query calls
+	CacheHits    int64 `json:"cache_hits"`    // served from cache
+	Coalesced    int64 `json:"coalesced"`     // piggybacked on an in-flight compute
+	Computes     int64 `json:"computes"`      // underlying engine runs started
+	Evictions    int64 `json:"evictions"`     // cache entries dropped (LRU or purge)
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = defaultCacheSize
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &Server{
+		workers:       cfg.Workers,
+		cacheSize:     size,
+		computeExact:  repro.Compute,
+		computeApprox: repro.ApproximateBC,
+		graphs:        make(map[string]*graphEntry),
+		cache:         make(map[string]*list.Element),
+		lru:           list.New(),
+		flight:        make(map[string]*flightCall),
+	}
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Name     string    `json:"name"`
+	N        int       `json:"n"`
+	M        int       `json:"m"`
+	Directed bool      `json:"directed"`
+	Weighted bool      `json:"weighted"`
+	Version  uint64    `json:"version"` // structural fingerprint
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+func (ge *graphEntry) info(name string) GraphInfo {
+	return GraphInfo{
+		Name: name, N: ge.g.N, M: ge.g.M(),
+		Directed: ge.g.Directed, Weighted: ge.g.Weighted,
+		Version: ge.version, LoadedAt: ge.loadedAt,
+	}
+}
+
+// AddGraph registers g under name, replacing any previous graph with that
+// name (stale cache entries for the name are purged; the version in cache
+// keys makes them unreachable anyway). The server takes ownership of g: the
+// caller must not mutate it afterwards.
+func (s *Server) AddGraph(name string, g *repro.Graph) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, errors.New("server: empty graph name")
+	}
+	if g == nil {
+		return GraphInfo{}, errors.New("server: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return GraphInfo{}, err
+	}
+	ge := &graphEntry{g: g, version: repro.Fingerprint(g), loadedAt: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, replacing := s.graphs[name]; replacing {
+		s.purgeLocked(name)
+	}
+	s.graphs[name] = ge
+	return ge.info(name), nil
+}
+
+// LoadGraph reads an edge-list file and registers it under name.
+func (s *Server) LoadGraph(name, path string) (GraphInfo, error) {
+	g, err := repro.LoadGraph(path)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return s.AddGraph(name, g)
+}
+
+// GenerateGraph builds a graph from spec and registers it under name.
+func (s *Server) GenerateGraph(name string, spec GraphSpec) (GraphInfo, error) {
+	g, err := BuildGraph(spec)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return s.AddGraph(name, g)
+}
+
+// Evict removes the named graph and purges its cached results. In-flight
+// computations against the old graph finish normally for their waiters.
+func (s *Server) Evict(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; !ok {
+		return ErrGraphNotFound
+	}
+	delete(s.graphs, name)
+	s.purgeLocked(name)
+	return nil
+}
+
+// purgeLocked drops every cache entry belonging to the named graph.
+func (s *Server) purgeLocked(name string) {
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		if ce := el.Value.(*cacheEntry); ce.graph == name {
+			s.lru.Remove(el)
+			delete(s.cache, ce.key)
+			s.stats.Evictions++
+		}
+		el = next
+	}
+}
+
+// GraphInfoFor returns the registered graph's description.
+func (s *Server) GraphInfoFor(name string) (GraphInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[name]
+	if !ok {
+		return GraphInfo{}, ErrGraphNotFound
+	}
+	return ge.info(name), nil
+}
+
+// Graphs lists the registered graphs sorted by name.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for name, ge := range s.graphs {
+		out = append(out, ge.info(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Graphs = len(s.graphs)
+	st.CacheEntries = s.lru.Len()
+	st.InFlight = len(s.flight)
+	return st
+}
+
+// QueryRequest selects a graph, an engine configuration, and the view of
+// the result to return. Engine parameters mirror repro.Options; parameters
+// that change scores form the cache key, while K and IncludeScores are
+// presentation-only and served from the same cached result.
+type QueryRequest struct {
+	Graph  string       `json:"graph"`
+	Engine repro.Engine `json:"engine,omitempty"` // default mfbc
+	Procs  int          `json:"procs,omitempty"`  // simulated processors (default 1)
+	Batch  int          `json:"batch,omitempty"`  // sources per sweep (0 = engine default)
+	// Samples > 0 selects sampling-based approximate BC with this source
+	// budget (the cheap path: cost ≈ Samples/n of exact). 0 = exact.
+	Samples int `json:"samples,omitempty"`
+	// Seed seeds the sample-source selection; only meaningful with Samples.
+	Seed      int64 `json:"seed,omitempty"`
+	Normalize bool  `json:"normalize,omitempty"`
+	// K asks for the top-K central vertices (0 = none).
+	K int `json:"k,omitempty"`
+	// IncludeScores returns the full BC vector (potentially large).
+	IncludeScores bool `json:"include_scores,omitempty"`
+}
+
+// VertexScore is one ranked vertex.
+type VertexScore struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// QueryStats is the per-query metadata of the tentpole: where the answer
+// came from and what it cost.
+type QueryStats struct {
+	CacheHit  bool    `json:"cache_hit"` // served from the result cache
+	Coalesced bool    `json:"coalesced"` // waited on another caller's compute
+	ComputeMS float64 `json:"compute_ms"`
+	// Comm is the modeled communication report of distributed runs
+	// (zero-valued for sequential computes).
+	Comm repro.CommReport `json:"comm"`
+}
+
+// QueryResult is the answer to one query.
+type QueryResult struct {
+	Graph      string        `json:"graph"`
+	Version    uint64        `json:"version"`
+	Engine     repro.Engine  `json:"engine"`
+	Procs      int           `json:"procs"`
+	Plan       string        `json:"plan,omitempty"`
+	Iterations int           `json:"iterations"`
+	Samples    int           `json:"samples,omitempty"`
+	TopK       []VertexScore `json:"topk,omitempty"`
+	Scores     []float64     `json:"scores,omitempty"`
+	Stats      QueryStats    `json:"stats"`
+}
+
+// normalize canonicalizes score-equivalent requests onto one cache key:
+// default engine, procs floor, and a zero seed when sampling is off.
+func (r *QueryRequest) normalize() {
+	if r.Engine == "" {
+		r.Engine = repro.EngineMFBC
+	}
+	if r.Procs < 1 {
+		r.Procs = 1
+	}
+	if r.Batch < 0 {
+		r.Batch = 0
+	}
+	if r.Samples <= 0 {
+		r.Samples = 0
+		r.Seed = 0
+	}
+}
+
+func cacheKey(graph string, version uint64, r QueryRequest) string {
+	return fmt.Sprintf("%s@%016x|%s|p%d|b%d|n%t|s%d|seed%d",
+		graph, version, r.Engine, r.Procs, r.Batch, r.Normalize, r.Samples, r.Seed)
+}
+
+// Query answers one centrality query, consulting the cache first and
+// coalescing with identical in-flight computations.
+func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
+	req.normalize()
+	if req.K < 0 {
+		return nil, fmt.Errorf("server: negative k %d", req.K)
+	}
+
+	s.mu.Lock()
+	ge, ok := s.graphs[req.Graph]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, req.Graph)
+	}
+	if req.Samples >= ge.g.N {
+		// A full-or-larger sample budget degenerates to the exact
+		// computation (repro.ApproximateBC short-circuits it), so collapse
+		// every such request onto the exact cache entry.
+		req.Samples, req.Seed = 0, 0
+	}
+	key := cacheKey(req.Graph, ge.version, req)
+	s.stats.Queries++
+
+	if el, hit := s.cache[key]; hit {
+		s.lru.MoveToFront(el)
+		ce := el.Value.(*cacheEntry)
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		return render(req, ge.version, ce, true, false), nil
+	}
+	if fc, inflight := s.flight[key]; inflight {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-fc.done
+		if fc.err != nil {
+			return nil, fc.err
+		}
+		return render(req, ge.version, fc.entry, false, true), nil
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	s.flight[key] = fc
+	s.stats.Computes++
+	s.mu.Unlock()
+
+	start := time.Now()
+	res, err := s.compute(ge.g, req)
+	wall := time.Since(start)
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err != nil {
+		s.mu.Unlock()
+		fc.err = err
+		close(fc.done)
+		return nil, err
+	}
+	ce := &cacheEntry{key: key, graph: req.Graph, res: res, wall: wall}
+	fc.entry = ce
+	// Don't insert if the graph was evicted or replaced while we computed:
+	// purgeLocked already ran and a new insert would leave unreachable
+	// residue occupying an LRU slot. Waiters still get this result.
+	if s.graphs[req.Graph] != ge {
+		s.mu.Unlock()
+		close(fc.done)
+		return render(req, ge.version, ce, false, false), nil
+	}
+	if s.cacheSize > 0 {
+		s.cache[key] = s.lru.PushFront(ce)
+		for s.lru.Len() > s.cacheSize {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			delete(s.cache, oldest.Value.(*cacheEntry).key)
+			s.stats.Evictions++
+		}
+	}
+	s.mu.Unlock()
+	close(fc.done)
+	return render(req, ge.version, ce, false, false), nil
+}
+
+func (s *Server) compute(g *repro.Graph, req QueryRequest) (*repro.Result, error) {
+	opt := repro.Options{
+		Engine:    req.Engine,
+		Procs:     req.Procs,
+		Batch:     req.Batch,
+		Workers:   s.workers,
+		Normalize: req.Normalize,
+	}
+	if req.Samples > 0 {
+		return s.computeApprox(g, req.Samples, req.Seed, opt)
+	}
+	return s.computeExact(g, opt)
+}
+
+// render builds the caller-facing view of a (possibly shared) cache entry.
+// ce.res.BC is shared across callers and never mutated; the Scores slice
+// handed out is a copy.
+func render(req QueryRequest, version uint64, ce *cacheEntry, hit, coalesced bool) *QueryResult {
+	out := &QueryResult{
+		Graph:      req.Graph,
+		Version:    version,
+		Engine:     ce.res.Engine,
+		Procs:      ce.res.Procs,
+		Plan:       ce.res.Plan,
+		Iterations: ce.res.Iterations,
+		Samples:    req.Samples,
+		Stats: QueryStats{
+			CacheHit:  hit,
+			Coalesced: coalesced,
+			ComputeMS: float64(ce.wall.Microseconds()) / 1e3,
+			Comm:      ce.res.Comm,
+		},
+	}
+	if req.K > 0 {
+		idx := repro.TopK(ce.res.BC, req.K)
+		out.TopK = make([]VertexScore, len(idx))
+		for i, v := range idx {
+			out.TopK[i] = VertexScore{Vertex: v, Score: ce.res.BC[v]}
+		}
+	}
+	if req.IncludeScores {
+		out.Scores = append([]float64(nil), ce.res.BC...)
+	}
+	return out
+}

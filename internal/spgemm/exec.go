@@ -235,13 +235,19 @@ func Multiply[TA, TB, TC any](
 	// address can be recycled by the allocator after the matrix dies, which
 	// would silently alias the cache to stale entries.
 	var bE []sparse.Entry[TB]
+	hitB := false
 	cacheKey := fmt.Sprintf("B:%d:%s:%dx%d", b.ID(), plan, k, n)
 	if cacheB {
-		if v, ok := s.cache[cacheKey]; ok {
+		var v any
+		if v, hitB = s.cache[cacheKey]; hitB {
 			bE = v.([]sparse.Entry[TB])
 		}
 	}
-	if bE == nil {
+	// A rank owning no B entries legitimately caches a nil slice, so a
+	// cache hit must be decided by the map's ok flag: re-staging on nil
+	// would have that rank alone re-enter the fiber collectives and desync
+	// the simulated machine.
+	if !hitB {
 		bw := distmat.Redistribute(world, b, db, addB)
 		bE = bw.Local
 		if plan.P1 > 1 && plan.X == RoleB {
@@ -329,7 +335,9 @@ func runAC[TA, TB, TC any](
 	aStage := bucketByStage(aE, s, func(e sparse.Entry[TA]) int { return partIn(e.I, r.m0, r.m1, s) })
 	kb0, kb1 := stageBounds(g.G2.MyR, r.k0, r.k1, plan.P2)
 	var acc []sparse.Entry[TC]
-	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSortedParallel(x, y, add, workers) }
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] {
+		return distmat.MergeSortedParallel(x, y, add, workers)
+	}
 	for t := 0; t < s; t++ {
 		aBlk := machine.Bcast(g.G2.Row, t%plan.P3, aStage[t])
 		prod, ops := mulEntriesParallel(aBlk, bE, kb0, kb1, f, add, workers)
@@ -353,7 +361,9 @@ func runBC[TA, TB, TC any](
 	bStage := bucketByStage(bE, s, func(e sparse.Entry[TB]) int { return partIn(e.J, r.n0, r.n1, s) })
 	kb0, kb1 := stageBounds(g.G2.MyC, r.k0, r.k1, plan.P3)
 	var acc []sparse.Entry[TC]
-	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] { return distmat.MergeSortedParallel(x, y, add, workers) }
+	merge := func(x, y []sparse.Entry[TC]) []sparse.Entry[TC] {
+		return distmat.MergeSortedParallel(x, y, add, workers)
+	}
 	for t := 0; t < s; t++ {
 		bBlk := machine.Bcast(g.G2.Col, t%plan.P2, bStage[t])
 		prod, ops := mulEntriesParallel(aE, bBlk, kb0, kb1, f, add, workers)

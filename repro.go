@@ -26,7 +26,11 @@
 package repro
 
 import (
+	"container/heap"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 
 	"repro/internal/baseline"
@@ -94,12 +98,12 @@ type Options struct {
 
 // CommReport summarizes the simulated communication of a distributed run.
 type CommReport struct {
-	Bytes    int64   // critical-path bytes
-	Msgs     int64   // critical-path messages
-	Flops    int64   // critical-path generalized operations
-	ModelSec float64 // modeled execution seconds (α–β–γ)
-	CommSec  float64 // modeled communication seconds (α–β only)
-	WallSec  float64 // host wall-clock seconds (informational)
+	Bytes    int64   `json:"bytes"`     // critical-path bytes
+	Msgs     int64   `json:"msgs"`      // critical-path messages
+	Flops    int64   `json:"flops"`     // critical-path generalized operations
+	ModelSec float64 `json:"model_sec"` // modeled execution seconds (α–β–γ)
+	CommSec  float64 `json:"comm_sec"`  // modeled communication seconds (α–β only)
+	WallSec  float64 `json:"wall_sec"`  // host wall-clock seconds (informational)
 }
 
 // Result carries centrality scores and run metadata.
@@ -187,35 +191,94 @@ func commReport(s machine.RunStats) CommReport {
 	}
 }
 
-// TopK returns the indices of the k highest-scoring vertices, descending.
+// topkHeap is a min-heap of (vertex, score) pairs ordered by "worse first":
+// lower score on top, ties broken by higher vertex index, so the root is
+// always the candidate to displace.
+type topkHeap struct {
+	v  []int
+	bc []float64
+}
+
+func (h *topkHeap) Len() int { return len(h.v) }
+func (h *topkHeap) Less(i, j int) bool {
+	if h.bc[i] != h.bc[j] {
+		return h.bc[i] < h.bc[j]
+	}
+	return h.v[i] > h.v[j]
+}
+func (h *topkHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.bc[i], h.bc[j] = h.bc[j], h.bc[i]
+}
+func (h *topkHeap) Push(x any) { panic("unused") }
+func (h *topkHeap) Pop() any {
+	n := len(h.v) - 1
+	h.v = h.v[:n]
+	h.bc = h.bc[:n]
+	return nil
+}
+
+// TopK returns the indices of the k highest-scoring vertices, descending,
+// ties broken by lower vertex index. Heap-based partial selection:
+// O(n log k) time and O(k) extra space.
 func TopK(bc []float64, k int) []int {
-	type pair struct {
-		v  int
-		bc float64
+	if k > len(bc) {
+		k = len(bc)
 	}
-	ps := make([]pair, len(bc))
+	if k <= 0 {
+		return []int{}
+	}
+	h := &topkHeap{v: make([]int, 0, k), bc: make([]float64, 0, k)}
 	for i, x := range bc {
-		ps[i] = pair{i, x}
-	}
-	// Selection by partial sort: small k, simple full sort is fine here.
-	for i := 0; i < len(ps); i++ {
-		for j := i + 1; j < len(ps); j++ {
-			if ps[j].bc > ps[i].bc || (ps[j].bc == ps[i].bc && ps[j].v < ps[i].v) {
-				ps[i], ps[j] = ps[j], ps[i]
+		if len(h.v) < k {
+			h.v = append(h.v, i)
+			h.bc = append(h.bc, x)
+			if len(h.v) == k {
+				heap.Init(h)
 			}
+			continue
 		}
-		if i >= k {
-			break
+		// Keep i only if it beats the current worst: higher score, or equal
+		// score with lower index.
+		if x > h.bc[0] || (x == h.bc[0] && i < h.v[0]) {
+			h.v[0], h.bc[0] = i, x
+			heap.Fix(h, 0)
 		}
 	}
-	if k > len(ps) {
-		k = len(ps)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = ps[i].v
+	out := make([]int, len(h.v))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.v[0]
+		heap.Pop(h)
 	}
 	return out
+}
+
+// Fingerprint returns a structural hash of the graph (vertex count,
+// orientation, weights, and the full edge list). Two graphs with the same
+// fingerprint hold the same topology regardless of their Name; any edit to
+// the edge set changes it. The server layer uses it as the graph version in
+// result-cache keys.
+func Fingerprint(g *Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N))
+	flags := uint64(0)
+	if g.Directed {
+		flags |= 1
+	}
+	if g.Weighted {
+		flags |= 2
+	}
+	put(flags)
+	for _, e := range g.Edges {
+		put(uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
+		put(math.Float64bits(e.W))
+	}
+	return h.Sum64()
 }
 
 // SSSPResult re-exports the shortest-path result type.

@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// topKRef is the reference selection: full sort by (score desc, index asc).
+func topKRef(bc []float64, k int) []int {
+	idx := make([]int, len(bc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if bc[idx[a]] != bc[idx[b]] {
+			return bc[idx[a]] > bc[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+func TestTopKTies(t *testing.T) {
+	// Equal scores must rank by ascending vertex index.
+	bc := []float64{5, 2, 5, 5, 2}
+	got := TopK(bc, 4)
+	want := []int{0, 2, 3, 1}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v want %v", got, want)
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	bc := []float64{3, 1, 2}
+	if got := TopK(bc, 0); len(got) != 0 {
+		t.Fatalf("k=0 must be empty, got %v", got)
+	}
+	if got := TopK(bc, -2); len(got) != 0 {
+		t.Fatalf("negative k must be empty, got %v", got)
+	}
+	if got := TopK(bc, 99); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("k>n must clamp to a full descending ranking, got %v", got)
+	}
+	if got := TopK(nil, 5); len(got) != 0 {
+		t.Fatalf("empty input must be empty, got %v", got)
+	}
+	if got := TopK([]float64{7}, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton, got %v", got)
+	}
+}
+
+func TestTopKAgreesWithFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		bc := make([]float64, n)
+		for i := range bc {
+			// Few distinct values → many ties exercise the tie-break.
+			bc[i] = float64(rng.Intn(8))
+		}
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 3} {
+			got := TopK(bc, k)
+			want := topKRef(bc, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: TopK=%v ref=%v (bc=%v)", n, k, got, want, bc)
+				}
+			}
+		}
+	}
+}
