@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 	batch := flag.Int("batch", 32, "sources per timed batch")
 	seed := flag.Int64("seed", 42, "generator seed")
 	quick := flag.Bool("quick", false, "shrink workloads (smoke test)")
+	jsonPath := flag.String("json", "", "write all bench points as a JSON array to this path (BENCH_*.json)")
 	flag.Parse()
 
 	if *list {
@@ -65,10 +67,36 @@ func main() {
 	if *exp == "all" {
 		ids = bench.Experiments
 	}
+	points := make([]bench.Point, 0, 64)
 	for _, id := range ids {
-		if _, err := bench.Run(id, cfg); err != nil {
+		pts, err := bench.Run(id, cfg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mfbc-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		points = append(points, pts...)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, points); err != nil {
+			fmt.Fprintf(os.Stderr, "mfbc-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mfbc-bench: wrote %d points to %s\n", len(points), *jsonPath)
+	}
+}
+
+// writeJSON dumps the collected points as an indented JSON array, so the
+// perf trajectory across runs is machine-readable rather than stderr-only.
+func writeJSON(path string, points []bench.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(points); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

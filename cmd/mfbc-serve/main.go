@@ -1,17 +1,22 @@
 // Command mfbc-serve runs the betweenness-centrality query service as an
 // HTTP/JSON server: a registry of named graphs, a result cache keyed by
-// graph version and query parameters, and single-flight deduplication of
-// concurrent identical queries (see internal/server).
+// graph version and query parameters, single-flight deduplication of
+// concurrent identical queries, and streaming updates — PATCH a graph with
+// a mutation batch and the per-graph dynamic engine refreshes scores
+// incrementally, re-running only the affected pivots (see internal/server
+// and internal/dynamic).
 //
 // Examples:
 //
 //	mfbc-serve -addr :8080
-//	mfbc-serve -addr :8080 -preload social=graph.txt -cache 512 -workers 0
+//	mfbc-serve -addr :8080 -preload social=graph.txt -cache 512 -workers 0 -dirty 0.25
 //
 // Then:
 //
 //	curl -X POST localhost:8080/graphs/demo -d '{"kind":"rmat","scale":10,"edge_factor":8,"seed":42}'
 //	curl -X POST localhost:8080/query -d '{"graph":"demo","k":10}'
+//	curl -X PATCH localhost:8080/graphs/demo -d '{"mutations":[{"op":"add_edge","u":3,"v":9,"w":1}]}'
+//	curl -X POST localhost:8080/query -d '{"graph":"demo","k":10}'   # warm hit on the new version
 package main
 
 import (
@@ -30,9 +35,10 @@ func main() {
 	workers := flag.Int("workers", 0, "local kernel threads per compute (0 = all cores, 1 = sequential)")
 	cache := flag.Int("cache", 256, "max cached results (negative disables caching)")
 	preload := flag.String("preload", "", "comma-separated name=path edge-list files to register at startup")
+	dirty := flag.Float64("dirty", 0, "mutation dirtiness threshold: affected-source fraction above which a PATCH recomputes fully (0 = default 0.25, negative = always incremental)")
 	flag.Parse()
 
-	s, err := buildServer(*workers, *cache, *preload)
+	s, err := buildServer(*workers, *cache, *dirty, *preload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
 		os.Exit(1)
@@ -47,8 +53,8 @@ func main() {
 
 // buildServer wires flags into a ready service; split from main so the
 // end-to-end test drives the exact production configuration.
-func buildServer(workers, cache int, preload string) (*server.Server, error) {
-	s := server.New(server.Config{Workers: workers, CacheSize: cache})
+func buildServer(workers, cache int, dirty float64, preload string) (*server.Server, error) {
+	s := server.New(server.Config{Workers: workers, CacheSize: cache, DirtyThreshold: dirty})
 	for _, pair := range strings.Split(preload, ",") {
 		pair = strings.TrimSpace(pair)
 		if pair == "" {

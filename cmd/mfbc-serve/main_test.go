@@ -23,7 +23,7 @@ func TestEndToEndSession(t *testing.T) {
 	if err := repro.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	s, err := buildServer(1, 64, "social="+path)
+	s, err := buildServer(1, 64, 0, "social="+path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,52 @@ func TestEndToEndSession(t *testing.T) {
 		}
 	}
 
-	// 5. Evict and confirm the graph is gone.
+	// 5. Streaming update: PATCH the mesh with a mutation batch, then
+	// confirm the bumped version answers from the warm-seeded scores.
+	var before server.GraphInfo
+	doReq := func(method, p string, body any, wantStatus int, out any) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(method, ts.URL+p, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d want %d", method, p, resp.StatusCode, wantStatus)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	doReq(http.MethodGet, "/graphs/road", nil, http.StatusOK, &before)
+	var mres server.MutateResult
+	doReq(http.MethodPatch, "/graphs/road", server.MutateRequest{Mutations: []repro.Mutation{
+		{Op: repro.MutAddEdge, U: 0, V: 35, W: 2},
+		{Op: repro.MutSetWeight, U: 0, V: 1, W: 4},
+	}}, http.StatusOK, &mres)
+	if mres.Version == before.Version || mres.M != before.M+1 {
+		t.Fatalf("mutation result %+v (before %+v)", mres, before)
+	}
+	var roadQ server.QueryResult
+	post("/query", server.QueryRequest{Graph: "road", K: 3}, http.StatusOK, &roadQ)
+	if roadQ.Version != mres.Version {
+		t.Fatalf("post-mutation query version %016x, want %016x", roadQ.Version, mres.Version)
+	}
+	if !roadQ.Stats.CacheHit {
+		t.Fatalf("post-mutation query must hit the warm-seeded cache: %+v", roadQ.Stats)
+	}
+
+	// 6. Evict and confirm the graph is gone.
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/graphs/social", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -114,13 +159,13 @@ func TestEndToEndSession(t *testing.T) {
 }
 
 func TestBuildServerPreloadErrors(t *testing.T) {
-	if _, err := buildServer(1, 0, "badentry"); err == nil {
+	if _, err := buildServer(1, 0, 0, "badentry"); err == nil {
 		t.Fatal("malformed -preload entry must fail")
 	}
-	if _, err := buildServer(1, 0, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if _, err := buildServer(1, 0, 0, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing preload file must fail")
 	}
-	s, err := buildServer(1, 0, " ")
+	s, err := buildServer(1, 0, 0, " ")
 	if err != nil || len(s.Graphs()) != 0 {
 		t.Fatalf("blank preload must yield an empty registry: %v", err)
 	}

@@ -1,0 +1,134 @@
+// Streaming façade: incremental betweenness centrality over an evolving
+// graph (see internal/dynamic for the engine and strategy selection).
+//
+//	dyn, _ := repro.NewDynamicBC(g, repro.DynamicOptions{})
+//	dyn.Apply([]repro.Mutation{{Op: repro.MutAddEdge, U: 3, V: 9, W: 1}})
+//	snap := dyn.Scores() // consistent (graph version, scores) snapshot
+
+package repro
+
+import (
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// Mutation is one graph edit; Op selects the kind (see the Mut* constants).
+type Mutation = graph.Mutation
+
+// Mutation op kinds, re-exported for callers of the streaming API.
+const (
+	MutAddEdge    = graph.OpAddEdge
+	MutRemoveEdge = graph.OpRemoveEdge
+	MutSetWeight  = graph.OpSetWeight
+	MutAddVertex  = graph.OpAddVertex
+)
+
+// DynamicOptions configures a DynamicBC engine.
+type DynamicOptions struct {
+	// Batch and Workers mirror Options: sources per MFBC sweep and local
+	// kernel parallelism.
+	Batch   int
+	Workers int
+	// DirtyThreshold is the affected-source fraction above which an apply
+	// falls back to full recomputation (0 = default 0.25, negative = always
+	// incremental).
+	DirtyThreshold float64
+	// SampleBudget > 0 switches applies to sampled estimation between
+	// exact refreshes; RefreshEvery sets the refresh cadence (≤ 0 = 8).
+	SampleBudget int
+	RefreshEvery int
+	// Seed drives sampled-mode source selection.
+	Seed int64
+}
+
+// ApplyReport describes one applied mutation batch: the strategy chosen
+// (incremental / full / sampled), how many pivots were re-run, and the new
+// graph version.
+type ApplyReport struct {
+	Seq      uint64  `json:"seq"`
+	Version  uint64  `json:"version"`
+	Applied  int     `json:"applied"`
+	Affected int     `json:"affected_sources"`
+	Strategy string  `json:"strategy"`
+	Sampled  bool    `json:"sampled"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// DynamicSnapshot is a consistent view of the maintained state. Graph is
+// the engine's immutable current topology (do not mutate it); BC is a
+// private copy of the scores.
+type DynamicSnapshot struct {
+	Graph   *Graph
+	BC      []float64
+	Version uint64
+	Seq     uint64
+	// Sampled reports that BC holds sampled estimates (between exact
+	// refreshes in sampled mode) rather than exact scores.
+	Sampled bool
+}
+
+// DynamicStats re-exports the engine's cumulative counters.
+type DynamicStats = dynamic.Stats
+
+// DynamicBC maintains betweenness-centrality scores over an evolving
+// graph. All methods are safe for concurrent use; concurrent readers see
+// either the pre- or post-batch snapshot of an Apply, never a torn state.
+type DynamicBC struct {
+	eng *dynamic.Engine
+}
+
+// NewDynamicBC computes initial exact scores for g and returns the
+// maintenance engine. g is cloned; the caller's graph stays independent.
+func NewDynamicBC(g *Graph, opt DynamicOptions) (*DynamicBC, error) {
+	eng, err := dynamic.New(g, dynamic.Config{
+		Batch:          opt.Batch,
+		Workers:        opt.Workers,
+		DirtyThreshold: opt.DirtyThreshold,
+		SampleBudget:   opt.SampleBudget,
+		RefreshEvery:   opt.RefreshEvery,
+		Seed:           opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicBC{eng: eng}, nil
+}
+
+// Apply atomically applies one mutation batch and refreshes the scores.
+// On error (an invalid mutation anywhere in the batch) nothing is applied.
+func (d *DynamicBC) Apply(batch []Mutation) (ApplyReport, error) {
+	rep, err := d.eng.Apply(batch)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return ApplyReport{
+		Seq: rep.Seq, Version: rep.Version, Applied: rep.Applied,
+		Affected: rep.Affected, Strategy: string(rep.Strategy), Sampled: rep.Sampled,
+		N: rep.N, M: rep.M, WallMS: float64(rep.Wall) / float64(time.Millisecond),
+	}, nil
+}
+
+// Scores returns the current consistent snapshot of the maintained state.
+func (d *DynamicBC) Scores() DynamicSnapshot {
+	s := d.eng.Snapshot()
+	return DynamicSnapshot{Graph: s.Graph, BC: s.BC, Version: s.Version, Seq: s.Seq, Sampled: s.Sampled}
+}
+
+// Graph returns the current immutable topology snapshot. Callers must not
+// mutate it; use Apply.
+func (d *DynamicBC) Graph() *Graph { return d.eng.Snapshot().Graph }
+
+// Stats returns cumulative engine counters.
+func (d *DynamicBC) Stats() DynamicStats { return d.eng.Stats() }
+
+// Log returns the (possibly compacted) mutation history: replaying it on
+// the graph the engine started from reproduces the current topology.
+func (d *DynamicBC) Log() []Mutation { return d.eng.Log() }
+
+// CompactLog rewrites the mutation log to its minimal replay-equivalent
+// form.
+func (d *DynamicBC) CompactLog() { d.eng.CompactLog() }

@@ -50,24 +50,26 @@ func (c *Config) fill() {
 	}
 }
 
-// Point is one measured series point.
+// Point is one measured series point. The JSON tags are the schema of
+// mfbc-bench's -json output (BENCH_*.json files).
 type Point struct {
-	Experiment string
-	Graph      string
-	Engine     string // "ctf-mfbc" | "combblas"
-	Weighted   bool
-	Procs      int
-	Batch      int
-	N, M       int
-	Plan       string
-	MTEPSNode  float64 // modeled MTEPS per node
-	ModelSec   float64 // modeled total time for the batch
-	CommSec    float64 // modeled communication time
-	WallSec    float64 // host wall time (informational)
-	Bytes      int64   // critical-path bytes
-	Msgs       int64   // critical-path messages
-	Iters      int
-	Err        string // engines can fail (reproducing the paper's CombBLAS failures)
+	Experiment string  `json:"experiment"`
+	Graph      string  `json:"graph"`
+	Engine     string  `json:"engine"` // "ctf-mfbc" | "combblas"
+	Weighted   bool    `json:"weighted"`
+	Procs      int     `json:"procs"`
+	Batch      int     `json:"batch"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	Plan       string  `json:"plan,omitempty"`
+	MTEPSNode  float64 `json:"mteps_node"` // modeled MTEPS per node
+	ModelSec   float64 `json:"model_sec"`  // modeled total time for the batch
+	CommSec    float64 `json:"comm_sec"`   // modeled communication time
+	WallSec    float64 `json:"wall_sec"`   // host wall time (informational)
+	Bytes      int64   `json:"bytes"`      // critical-path bytes
+	Msgs       int64   `json:"msgs"`       // critical-path messages
+	Iters      int     `json:"iters"`
+	Err        string  `json:"err,omitempty"` // engines can fail (reproducing the paper's CombBLAS failures)
 }
 
 // Experiments lists the available experiment ids in presentation order.

@@ -1,0 +1,529 @@
+// Package dynamic maintains betweenness-centrality scores over an evolving
+// graph: the streaming subsystem on top of the static MFBC machinery.
+//
+// The Engine owns an immutable (graph, scores) snapshot that atomically
+// swaps on every applied mutation batch, so concurrent readers always see
+// a consistent version — never a torn state. Per batch it chooses among
+// three strategies:
+//
+//   - incremental: identify the sources whose shortest-path DAGs the batch
+//     can touch (see affectedSources) and re-run only those pivots through
+//     core's batched MFBC sweeps, subtracting their old contributions and
+//     adding the new ones. This is the Kourtellis-style speedup: cost
+//     scales with |affected|/n instead of 1.
+//   - full: recompute from scratch when the affected fraction exceeds the
+//     configured dirtiness threshold (incremental bookkeeping would cost
+//     more than it saves), or when the previous snapshot holds estimates.
+//   - sampled: with a sample budget configured, estimate the new scores
+//     from a seeded random subset of sources (the Bader et al. estimator
+//     repro.ApproximateBC uses), taking an exact full refresh every
+//     RefreshEvery batches.
+//
+// Affected-source detection is conservative-exact: a source s is re-run
+// iff some edge of the effective batch diff lies on a shortest path from s
+// in the pre-batch or post-batch graph. If no old or new shortest path
+// from s uses a mutated edge, every old shortest path survives with its
+// length and no shorter or additional path can have appeared, so δ(s,·)
+// is unchanged and skipping s is exact. Membership is decided from
+// distances to the mutated endpoints (one multi-source reverse SSSP per
+// side), with an epsilon-tolerant equality so float path sums can only
+// over-include, never under-include.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Batch is the number of sources per MFBC sweep (core.Options.Batch).
+	Batch int
+	// Workers is the shared-memory parallelism of the local kernels.
+	Workers int
+	// DirtyThreshold is the affected-source fraction above which an exact
+	// apply falls back to full recomputation. 0 selects the default 0.25;
+	// negative disables the fallback (always incremental); values ≥ 1
+	// effectively disable it too.
+	DirtyThreshold float64
+	// SampleBudget > 0 switches applies to sampled estimation with this
+	// many source samples (cost ≈ SampleBudget/n of exact). Budgets ≥ n
+	// degenerate to exact recomputation.
+	SampleBudget int
+	// RefreshEvery is the cadence of exact refreshes in sampled mode: every
+	// RefreshEvery-th apply recomputes exactly. ≤ 0 selects the default 8.
+	RefreshEvery int
+	// Seed drives the sampled-mode source selection.
+	Seed int64
+}
+
+const (
+	defaultDirtyThreshold = 0.25
+	defaultRefreshEvery   = 8
+	// logCompactAt bounds the mutation log: past this many entries the
+	// engine compacts it to the replay-equivalent minimal form.
+	logCompactAt = 4096
+)
+
+// Strategy names how one apply produced its scores.
+type Strategy string
+
+const (
+	StrategyIncremental Strategy = "incremental"
+	StrategyFull        Strategy = "full"
+	StrategySampled     Strategy = "sampled"
+)
+
+// state is one immutable (graph, scores) snapshot. Installed whole under
+// the engine lock; never written after installation.
+type state struct {
+	g       *graph.Graph
+	bc      []float64
+	version uint64 // graph.Fingerprint(g)
+	seq     uint64 // applies since engine creation
+	sampled bool   // bc holds sampled estimates, not exact scores
+}
+
+// Stats is a snapshot of cumulative engine counters.
+type Stats struct {
+	Applies          int64 `json:"applies"`
+	MutationsApplied int64 `json:"mutations_applied"`
+	IncrementalRuns  int64 `json:"incremental_runs"`
+	FullRecomputes   int64 `json:"full_recomputes"`
+	SampledEstimates int64 `json:"sampled_estimates"`
+	AffectedSources  int64 `json:"affected_sources"` // cumulative, exact applies only
+	LastAffected     int   `json:"last_affected"`
+	LogLen           int   `json:"log_len"`
+}
+
+// Report describes one applied batch.
+type Report struct {
+	Seq      uint64        `json:"seq"`     // snapshot sequence number after the apply
+	Version  uint64        `json:"version"` // structural fingerprint after the apply
+	Applied  int           `json:"applied"` // mutations in the batch
+	Affected int           `json:"affected_sources"`
+	Strategy Strategy      `json:"strategy"`
+	Sampled  bool          `json:"sampled"` // scores are estimates after this apply
+	N        int           `json:"n"`
+	M        int           `json:"m"`
+	Wall     time.Duration `json:"-"`
+}
+
+// Snapshot is a consistent read of the engine state. Graph is the live
+// immutable snapshot — callers must not mutate it; BC is a private copy.
+type Snapshot struct {
+	Graph   *graph.Graph
+	BC      []float64
+	Version uint64
+	Seq     uint64
+	Sampled bool
+}
+
+// Engine maintains BC scores over an evolving graph. All methods are safe
+// for concurrent use; Apply calls serialize with each other while readers
+// proceed against the latest installed snapshot.
+type Engine struct {
+	cfg Config
+
+	applyMu sync.Mutex // serializes Apply; held across the whole compute
+	mu      sync.RWMutex
+	cur     *state
+	log     graph.MutationLog
+	stats   Stats
+}
+
+// New creates an engine over g, computing the initial exact scores. The
+// engine clones g, so the caller's graph stays independent.
+func New(g *graph.Graph, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dynamic: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: %w", err)
+	}
+	if cfg.DirtyThreshold == 0 {
+		cfg.DirtyThreshold = defaultDirtyThreshold
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = defaultRefreshEvery
+	}
+	own := g.Clone()
+	r, err := core.MFBC(own, core.Options{Batch: cfg.Batch, Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg: cfg,
+		cur: &state{g: own, bc: r.BC, version: graph.Fingerprint(own)},
+	}, nil
+}
+
+// Snapshot returns the current consistent (graph, scores, version) view.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.RLock()
+	st := e.cur
+	e.mu.RUnlock()
+	return Snapshot{
+		Graph:   st.g,
+		BC:      append([]float64(nil), st.bc...),
+		Version: st.version,
+		Seq:     st.seq,
+		Sampled: st.sampled,
+	}
+}
+
+// Stats returns cumulative engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.stats
+	st.LogLen = e.log.Len()
+	return st
+}
+
+// Log returns a copy of the mutation log (possibly compacted).
+func (e *Engine) Log() []graph.Mutation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.log.Mutations()
+}
+
+// CompactLog rewrites the mutation log to its replay-equivalent minimal
+// form immediately (the engine also does this automatically past an
+// internal bound).
+func (e *Engine) CompactLog() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log.Compact(e.cur.g.Directed)
+}
+
+// Apply atomically applies one mutation batch and refreshes the maintained
+// scores. On error the engine state is unchanged (batches are applied to a
+// private clone first). Readers concurrent with Apply see either the old
+// or the new snapshot, never a mix.
+func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+
+	e.mu.RLock()
+	old := e.cur
+	e.mu.RUnlock()
+
+	start := time.Now()
+	newG := old.g.Clone()
+	if _, err := newG.ApplyAll(batch); err != nil {
+		return Report{}, fmt.Errorf("dynamic: %w", err)
+	}
+	seq := old.seq + 1
+
+	var (
+		bc       []float64
+		strategy Strategy
+		affected []int32
+		sampled  bool
+		err      error
+	)
+	full := func() error {
+		r, ferr := core.MFBC(newG, core.Options{Batch: e.cfg.Batch, Workers: e.cfg.Workers})
+		if ferr != nil {
+			return ferr
+		}
+		bc, strategy = r.BC, StrategyFull
+		return nil
+	}
+	switch {
+	case e.cfg.SampleBudget > 0 && e.cfg.SampleBudget < newG.N && seq%uint64(e.cfg.RefreshEvery) != 0:
+		bc = e.sampledScores(newG, seq)
+		strategy, sampled = StrategySampled, true
+	case old.sampled:
+		// Incremental deltas need an exact base; with only estimates to
+		// start from, affected-source detection would be wasted work.
+		if err := full(); err != nil {
+			return Report{}, err
+		}
+	default:
+		affected, err = affectedSources(old.g, newG, batch)
+		if err != nil {
+			return Report{}, err
+		}
+		frac := 0.0
+		if newG.N > 0 {
+			frac = float64(len(affected)) / float64(newG.N)
+		}
+		if e.cfg.DirtyThreshold > 0 && frac > e.cfg.DirtyThreshold {
+			if err := full(); err != nil {
+				return Report{}, err
+			}
+		} else {
+			bc = e.incrementalScores(old, newG, affected)
+			strategy = StrategyIncremental
+		}
+	}
+
+	st := &state{
+		g:       newG,
+		bc:      bc,
+		version: graph.Fingerprint(newG),
+		seq:     seq,
+		sampled: sampled,
+	}
+	rep := Report{
+		Seq: seq, Version: st.version, Applied: len(batch),
+		Affected: len(affected), Strategy: strategy, Sampled: sampled,
+		N: newG.N, M: newG.M(), Wall: time.Since(start),
+	}
+
+	e.mu.Lock()
+	e.cur = st
+	e.log.Append(batch...)
+	if e.log.Len() > logCompactAt {
+		e.log.Compact(st.g.Directed)
+	}
+	e.stats.Applies++
+	e.stats.MutationsApplied += int64(len(batch))
+	switch strategy {
+	case StrategyIncremental:
+		e.stats.IncrementalRuns++
+	case StrategyFull:
+		e.stats.FullRecomputes++
+	case StrategySampled:
+		e.stats.SampledEstimates++
+	}
+	if strategy != StrategySampled {
+		e.stats.AffectedSources += int64(len(affected))
+		e.stats.LastAffected = len(affected)
+	}
+	e.mu.Unlock()
+	return rep, nil
+}
+
+// incrementalScores merges the batch's delta into the maintained vector:
+// bc_new = bc_old − Σ_{s∈affected} δ_old(s,·) + Σ_{s∈affected} δ_new(s,·),
+// each side computed with the ordinary batched MFBC sweeps restricted to
+// the affected pivots.
+func (e *Engine) incrementalScores(old *state, newG *graph.Graph, affected []int32) []float64 {
+	bc := make([]float64, newG.N)
+	copy(bc, old.bc)
+	if len(affected) == 0 {
+		return bc
+	}
+
+	oldN := old.g.N
+	oldAff := affected
+	if n := len(affected); n > 0 && int(affected[n-1]) >= oldN {
+		// Sources added by this batch have no contribution to subtract.
+		oldAff = oldAff[:0]
+		for _, s := range affected {
+			if int(s) < oldN {
+				oldAff = append(oldAff, s)
+			}
+		}
+	}
+	if len(oldAff) > 0 {
+		delta := e.pivotScores(old.g, oldAff)
+		for v := 0; v < oldN; v++ {
+			bc[v] -= delta[v]
+		}
+	}
+	delta := e.pivotScores(newG, affected)
+	for v := range bc {
+		bc[v] += delta[v]
+		// Subtracting recomputed old contributions from the running vector
+		// can leave −1e-12-scale residue at mathematically zero scores; large
+		// negatives would mean a bookkeeping bug and are left visible.
+		if bc[v] < 0 && bc[v] > -1e-6 {
+			bc[v] = 0
+		}
+	}
+	return bc
+}
+
+// pivotScores runs batched MFBC sweeps for exactly the given sources and
+// returns their accumulated dependency contributions.
+func (e *Engine) pivotScores(g *graph.Graph, sources []int32) []float64 {
+	a := g.Adjacency()
+	at := sparse.Transpose(a)
+	bc := make([]float64, g.N)
+	nb := e.cfg.Batch
+	if nb <= 0 {
+		nb = 128
+	}
+	for lo := 0; lo < len(sources); lo += nb {
+		hi := lo + nb
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		core.MFBCBatchParallel(a, at, sources[lo:hi], bc, e.cfg.Workers)
+	}
+	return bc
+}
+
+// sampledScores estimates BC from a seeded random subset of sources scaled
+// by n/samples, exactly like repro.ApproximateBC's estimator.
+func (e *Engine) sampledScores(g *graph.Graph, seq uint64) []float64 {
+	n := g.N
+	budget := e.cfg.SampleBudget
+	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(seq)*0x9e3779b9))
+	perm := rng.Perm(n)
+	sources := make([]int32, budget)
+	for i := range sources {
+		sources[i] = int32(perm[i])
+	}
+	bc := e.pivotScores(g, sources)
+	scale := float64(n) / float64(budget)
+	for v := range bc {
+		bc[v] *= scale
+	}
+	return bc
+}
+
+// edgeDiff is one edge of the effective difference between the pre- and
+// post-batch graphs.
+type edgeDiff struct {
+	u, v         int32
+	wOld, wNew   float64
+	inOld, inNew bool
+}
+
+// batchDiff reduces a mutation batch to the effective edge-level diff
+// between oldG and newG: transient edges (added then removed within the
+// batch) and no-op rewrites drop out; everything else reports its presence
+// and weight on both sides.
+func batchDiff(oldG, newG *graph.Graph, batch []graph.Mutation) []edgeDiff {
+	seen := make(map[[2]int32]bool)
+	var diffs []edgeDiff
+	for _, m := range batch {
+		if m.Op == graph.OpAddVertex {
+			continue
+		}
+		u, v := m.U, m.V
+		if !newG.Directed && u > v {
+			u, v = v, u
+		}
+		k := [2]int32{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d := edgeDiff{u: u, v: v}
+		d.wOld, d.inOld = oldG.FindEdge(u, v)
+		d.wNew, d.inNew = newG.FindEdge(u, v)
+		if d.inOld == d.inNew && (!d.inOld || d.wOld == d.wNew) {
+			continue // transient or no-op
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+// affectedSources returns, sorted ascending, every source vertex of newG
+// whose dependency contributions can differ between oldG and newG: those
+// with a mutated edge on some shortest path in either graph. The test is
+// epsilon-tolerant, so floating-point path sums can only widen the set.
+func affectedSources(oldG, newG *graph.Graph, batch []graph.Mutation) ([]int32, error) {
+	diffs := batchDiff(oldG, newG, batch)
+	if len(diffs) == 0 {
+		return nil, nil
+	}
+
+	// d(s, e) for every source s and mutated endpoint e, on each side:
+	// one multi-source SSSP from the endpoints on the reverse graph.
+	oldEnds := endpointSet(diffs, func(d edgeDiff) bool { return d.inOld })
+	newEnds := endpointSet(diffs, func(d edgeDiff) bool { return d.inNew })
+	distOld, err := distancesTo(oldG, oldEnds)
+	if err != nil {
+		return nil, err
+	}
+	distNew, err := distancesTo(newG, newEnds)
+	if err != nil {
+		return nil, err
+	}
+
+	affected := make([]bool, newG.N)
+	undirected := !newG.Directed
+	for _, d := range diffs {
+		if d.inOld {
+			markOnShortestPath(affected, distOld[d.u], distOld[d.v], d.wOld, undirected)
+		}
+		if d.inNew {
+			markOnShortestPath(affected, distNew[d.u], distNew[d.v], d.wNew, undirected)
+		}
+	}
+	var out []int32
+	for s, a := range affected {
+		if a {
+			out = append(out, int32(s))
+		}
+	}
+	return out, nil
+}
+
+func endpointSet(diffs []edgeDiff, want func(edgeDiff) bool) []int32 {
+	set := make(map[int32]bool)
+	for _, d := range diffs {
+		if want(d) {
+			set[d.u] = true
+			set[d.v] = true
+		}
+	}
+	out := make([]int32, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	return out
+}
+
+// distancesTo returns dist[e][s] = d(s → e) for every endpoint e, via SSSP
+// from the endpoints on the reverse graph (the graph itself when
+// undirected).
+func distancesTo(g *graph.Graph, endpoints []int32) (map[int32][]float64, error) {
+	out := make(map[int32][]float64, len(endpoints))
+	if len(endpoints) == 0 {
+		return out, nil
+	}
+	rg := g
+	if g.Directed {
+		rg = &graph.Graph{Name: g.Name + "-rev", N: g.N, Directed: true, Weighted: g.Weighted}
+		rg.Edges = make([]graph.Edge, len(g.Edges))
+		for i, e := range g.Edges {
+			rg.Edges[i] = graph.Edge{U: e.V, V: e.U, W: e.W}
+		}
+	}
+	res, err := core.SSSP(rg, endpoints)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: endpoint SSSP: %w", err)
+	}
+	for i, e := range endpoints {
+		out[e] = res.Dist[i]
+	}
+	return out, nil
+}
+
+// markOnShortestPath marks every source s for which edge (u→v, w) lies on
+// a shortest path from s: d(s,u) + w == d(s,v), within a relative epsilon.
+// Undirected edges are tested in both orientations.
+func markOnShortestPath(affected []bool, distU, distV []float64, w float64, undirected bool) {
+	n := len(distU)
+	for s := 0; s < n && s < len(affected); s++ {
+		du, dv := distU[s], distV[s]
+		if onPath(du, dv, w) || (undirected && onPath(dv, du, w)) {
+			affected[s] = true
+		}
+	}
+}
+
+func onPath(du, dv, w float64) bool {
+	if math.IsInf(du, 1) || math.IsInf(dv, 1) {
+		return false
+	}
+	sum := du + w
+	tol := 1e-9 * (1 + math.Max(math.Abs(sum), math.Abs(dv)))
+	return math.Abs(sum-dv) <= tol
+}

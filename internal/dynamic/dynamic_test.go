@@ -1,0 +1,439 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func almostEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+// fromScratch recomputes exact scores on g's current topology.
+func fromScratch(t *testing.T, g *graph.Graph) []float64 {
+	t.Helper()
+	r, err := core.MFBC(g, core.Options{})
+	if err != nil {
+		t.Fatalf("from-scratch MFBC: %v", err)
+	}
+	return r.BC
+}
+
+func compareScores(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d vs %d", ctx, len(got), len(want))
+	}
+	for v := range got {
+		if !almostEqual(got[v], want[v]) {
+			t.Fatalf("%s: bc[%d] = %v, want %v", ctx, v, got[v], want[v])
+		}
+	}
+}
+
+// randomMutation picks one valid mutation for g's current topology.
+func randomMutation(rng *rand.Rand, g *graph.Graph, weighted bool) graph.Mutation {
+	for tries := 0; tries < 200; tries++ {
+		switch rng.Intn(10) {
+		case 0: // grow the vertex set occasionally
+			return graph.Mutation{Op: graph.OpAddVertex}
+		case 1, 2, 3: // remove an existing edge (keep some density)
+			if g.M() <= g.N/2 {
+				continue
+			}
+			e := g.Edges[rng.Intn(g.M())]
+			return graph.Mutation{Op: graph.OpRemoveEdge, U: e.U, V: e.V}
+		case 4, 5: // reweight an existing edge
+			if !weighted || g.M() == 0 {
+				continue
+			}
+			e := g.Edges[rng.Intn(g.M())]
+			return graph.Mutation{Op: graph.OpSetWeight, U: e.U, V: e.V, W: float64(1 + rng.Intn(9))}
+		default: // insert a fresh edge
+			u := int32(rng.Intn(g.N))
+			v := int32(rng.Intn(g.N))
+			if u == v {
+				continue
+			}
+			if _, exists := g.FindEdge(u, v); exists {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				w = float64(1 + rng.Intn(9))
+			}
+			return graph.Mutation{Op: graph.OpAddEdge, U: u, V: v, W: w}
+		}
+	}
+	return graph.Mutation{Op: graph.OpAddVertex}
+}
+
+// TestIncrementalMatchesFromScratch is the engine-level differential test:
+// after every applied batch, the maintained scores must match a from-
+// scratch recomputation on the mutated topology. DirtyThreshold < 0 forces
+// the incremental path so the delta bookkeeping itself is what's tested.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func() *graph.Graph
+		weighted bool
+	}{
+		{"rmat", func() *graph.Graph { return graph.RMAT(graph.DefaultRMAT(6, 6, 11)) }, false},
+		{"uniform-directed", func() *graph.Graph { return graph.Uniform(48, 160, true, 12) }, false},
+		{"grid-weighted", func() *graph.Graph { return graph.Grid2D(7, 7, 8, 13) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			eng, err := New(g, Config{DirtyThreshold: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareScores(t, "initial", eng.Snapshot().BC, fromScratch(t, g))
+			rng := rand.New(rand.NewSource(99))
+			shadow := g.Clone()
+			for step := 0; step < 8; step++ {
+				batch := make([]graph.Mutation, 1+rng.Intn(3))
+				for i := range batch {
+					batch[i] = randomMutation(rng, shadow, tc.weighted)
+					if err := shadow.Apply(batch[i]); err != nil {
+						t.Fatalf("step %d: shadow apply: %v", step, err)
+					}
+				}
+				rep, err := eng.Apply(batch)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if rep.Strategy != StrategyIncremental {
+					t.Fatalf("step %d: strategy %q, want incremental", step, rep.Strategy)
+				}
+				snap := eng.Snapshot()
+				if snap.Version != graph.Fingerprint(shadow) {
+					t.Fatalf("step %d: engine graph diverged from shadow replay", step)
+				}
+				compareScores(t, tc.name, snap.BC, fromScratch(t, shadow))
+			}
+			st := eng.Stats()
+			if st.Applies != 8 || st.IncrementalRuns != 8 || st.FullRecomputes != 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestDirtyThresholdFallsBackToFull: a batch touching most of the graph
+// must trigger full recomputation when the threshold is low.
+func TestDirtyThresholdFallsBackToFull(t *testing.T) {
+	g := graph.Grid2D(6, 6, 1, 1)
+	eng, err := New(g, Config{DirtyThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a central edge affects shortest paths from nearly every
+	// source in a mesh.
+	rep, err := eng.Apply([]graph.Mutation{{Op: graph.OpRemoveEdge, U: g.Edges[30].U, V: g.Edges[30].V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != StrategyFull {
+		t.Fatalf("strategy = %q, want full (affected %d/%d)", rep.Strategy, rep.Affected, rep.N)
+	}
+	shadow := g.Clone()
+	if err := shadow.RemoveEdge(g.Edges[30].U, g.Edges[30].V); err != nil {
+		t.Fatal(err)
+	}
+	compareScores(t, "full fallback", eng.Snapshot().BC, fromScratch(t, shadow))
+	if st := eng.Stats(); st.FullRecomputes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAffectedSourcesLocal: an edge inserted in a far corner of a long
+// path graph must not force recomputing sources that cannot reach it with
+// a changed shortest path.
+func TestAffectedSourcesLocal(t *testing.T) {
+	// Two path components: 0..19 and 20..39.
+	g := &graph.Graph{Name: "twopaths", N: 40}
+	for i := int32(0); i < 19; i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: i, V: i + 1, W: 1})
+		g.Edges = append(g.Edges, graph.Edge{U: 20 + i, V: 21 + i, W: 1})
+	}
+	eng, err := New(g, Config{DirtyThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chord inside the second component leaves the first component's
+	// sources untouched.
+	rep, err := eng.Apply([]graph.Mutation{{Op: graph.OpAddEdge, U: 25, V: 30, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected == 0 || rep.Affected > 20 {
+		t.Fatalf("affected = %d, want within (0, 20]: component 1 must be skipped", rep.Affected)
+	}
+	shadow := g.Clone()
+	if err := shadow.AddEdge(25, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	compareScores(t, "local insert", eng.Snapshot().BC, fromScratch(t, shadow))
+}
+
+// TestNoopBatchSkipsCompute: add+remove of the same edge in one batch is a
+// structural no-op, so no source should be re-run.
+func TestNoopBatchSkipsCompute(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(5, 6, 3))
+	eng, err := New(g, Config{DirtyThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u, v int32
+	for u = 0; u < int32(g.N); u++ {
+		if _, ok := g.FindEdge(u, u+1); !ok && int(u+1) < g.N {
+			v = u + 1
+			break
+		}
+	}
+	before := eng.Snapshot()
+	rep, err := eng.Apply([]graph.Mutation{
+		{Op: graph.OpAddEdge, U: u, V: v, W: 1},
+		{Op: graph.OpRemoveEdge, U: u, V: v},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Affected != 0 {
+		t.Fatalf("affected = %d for a transient edge, want 0", rep.Affected)
+	}
+	after := eng.Snapshot()
+	if after.Version != before.Version {
+		t.Fatal("structural no-op changed the fingerprint")
+	}
+	compareScores(t, "noop", after.BC, before.BC)
+}
+
+// TestSampledModeEstimatesAndRefreshes: sampled applies produce estimates
+// flagged as such; every RefreshEvery-th apply is an exact refresh.
+func TestSampledModeEstimatesAndRefreshes(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(6, 8, 21))
+	eng, err := New(g, Config{SampleBudget: 8, RefreshEvery: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := g.Clone()
+	rng := rand.New(rand.NewSource(7))
+	for step := 1; step <= 6; step++ {
+		m := randomMutation(rng, shadow, false)
+		if err := shadow.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Apply([]graph.Mutation{m})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%3 == 0 {
+			if rep.Strategy != StrategyFull || rep.Sampled {
+				t.Fatalf("step %d: %q sampled=%v, want exact refresh", step, rep.Strategy, rep.Sampled)
+			}
+			compareScores(t, "refresh", eng.Snapshot().BC, fromScratch(t, shadow))
+		} else {
+			if rep.Strategy != StrategySampled || !rep.Sampled {
+				t.Fatalf("step %d: %q sampled=%v, want sampled estimate", step, rep.Strategy, rep.Sampled)
+			}
+			// Estimates are not exact, but the total mass estimator is
+			// unbiased; sanity-check it is in the right ballpark (not zeros,
+			// not wildly off).
+			exact := fromScratch(t, shadow)
+			var se, sx float64
+			for v := range exact {
+				se += eng.Snapshot().BC[v]
+				sx += exact[v]
+			}
+			if sx > 0 && (se < sx/20 || se > sx*20) {
+				t.Fatalf("step %d: estimate mass %v vs exact %v", step, se, sx)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.SampledEstimates != 4 || st.FullRecomputes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestApplyErrorLeavesStateUntouched: an invalid mutation mid-batch must
+// not change the observable snapshot (batches are atomic).
+func TestApplyErrorLeavesStateUntouched(t *testing.T) {
+	g := graph.Grid2D(4, 4, 1, 1)
+	eng, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Snapshot()
+	_, err = eng.Apply([]graph.Mutation{
+		{Op: graph.OpAddEdge, U: 0, V: 5, W: 1},
+		{Op: graph.OpAddEdge, U: 0, V: 99, W: 1}, // out of range
+	})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	after := eng.Snapshot()
+	if after.Version != before.Version || after.Seq != before.Seq {
+		t.Fatal("failed batch mutated the snapshot")
+	}
+	if st := eng.Stats(); st.Applies != 0 {
+		t.Fatalf("failed batch counted: %+v", st)
+	}
+}
+
+// TestConcurrentReadersSeeConsistentSnapshots: readers racing a writer
+// must only ever observe (version, scores) pairs that match one installed
+// snapshot — scores always belong to the version they arrived with.
+func TestConcurrentReadersSeeConsistentSnapshots(t *testing.T) {
+	g := graph.Grid2D(5, 5, 1, 1)
+	eng, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Precompute the expected scores of every version the writer installs.
+	expect := map[uint64][]float64{graph.Fingerprint(g): fromScratch(t, g)}
+	shadow := g.Clone()
+	muts := []graph.Mutation{
+		{Op: graph.OpAddEdge, U: 0, V: 24, W: 1},
+		{Op: graph.OpRemoveEdge, U: 0, V: 1},
+		{Op: graph.OpAddEdge, U: 3, V: 17, W: 1},
+		{Op: graph.OpAddEdge, U: 7, V: 21, W: 1},
+	}
+	for _, m := range muts {
+		if err := shadow.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		expect[graph.Fingerprint(shadow)] = fromScratch(t, shadow)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := eng.Snapshot()
+				want, ok := expect[snap.Version]
+				if !ok {
+					errs <- "reader saw unknown version"
+					return
+				}
+				if len(snap.BC) != len(want) {
+					errs <- "reader saw torn scores (length)"
+					return
+				}
+				for v := range want {
+					if !almostEqual(snap.BC[v], want[v]) {
+						errs <- "reader saw scores inconsistent with their version"
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, m := range muts {
+		if _, err := eng.Apply([]graph.Mutation{m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestApplyNeverMutatesPublishedSnapshot: Apply must treat installed
+// snapshots as immutable even when the input graph's edge slice is not in
+// canonical order — a reader iterating Snapshot().Graph.Edges while a
+// batch applies must see the slice untouched (runs under -race in CI).
+func TestApplyNeverMutatesPublishedSnapshot(t *testing.T) {
+	g := &graph.Graph{Name: "unsorted", N: 6, Edges: []graph.Edge{
+		{U: 4, V: 5, W: 1}, {U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1},
+		{U: 1, V: 2, W: 1}, {U: 3, V: 4, W: 1},
+	}}
+	eng, err := New(g, Config{DirtyThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	before := append([]graph.Edge(nil), snap.Graph.Edges...)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, e := range snap.Graph.Edges {
+				_ = e.W
+			}
+		}
+	}()
+	if _, err := eng.Apply([]graph.Mutation{{Op: graph.OpAddEdge, U: 0, V: 5, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	for i, e := range snap.Graph.Edges {
+		if e != before[i] {
+			t.Fatalf("Apply reordered the published snapshot's edges: %+v vs %+v",
+				snap.Graph.Edges, before)
+		}
+	}
+}
+
+// TestLogRecordsAndCompacts: the engine log replays to the current graph
+// and compaction preserves that.
+func TestLogRecordsAndCompacts(t *testing.T) {
+	g := graph.Grid2D(4, 4, 1, 1)
+	eng, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]graph.Mutation{
+		{{Op: graph.OpAddEdge, U: 0, V: 15, W: 1}},
+		{{Op: graph.OpRemoveEdge, U: 0, V: 15}, {Op: graph.OpAddEdge, U: 2, V: 13, W: 1}},
+		{{Op: graph.OpSetWeight, U: 2, V: 13, W: 4}},
+	}
+	for _, b := range batches {
+		if _, err := eng.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed := g.Clone()
+	if _, err := replayed.ApplyAll(eng.Log()); err != nil {
+		t.Fatalf("log replay: %v", err)
+	}
+	if graph.Fingerprint(replayed) != eng.Snapshot().Version {
+		t.Fatal("log replay does not reproduce the engine graph")
+	}
+	eng.CompactLog()
+	if got := eng.Stats().LogLen; got > 2 {
+		t.Fatalf("compacted log has %d entries, want ≤ 2 (transient edge drops out)", got)
+	}
+	replayed = g.Clone()
+	if _, err := replayed.ApplyAll(eng.Log()); err != nil {
+		t.Fatalf("compacted replay: %v", err)
+	}
+	if graph.Fingerprint(replayed) != eng.Snapshot().Version {
+		t.Fatal("compacted log replay does not reproduce the engine graph")
+	}
+}

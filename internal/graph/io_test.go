@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -56,6 +59,74 @@ func TestWriteEdgeListErrorAtFlush(t *testing.T) {
 	err := WriteEdgeList(&failAfterWriter{limit: 10}, g)
 	if !errors.Is(err, errDiskFull) {
 		t.Fatalf("WriteEdgeList = %v, want errDiskFull", err)
+	}
+}
+
+// TestReadEdgeListErrors covers the parse-error paths: malformed edge
+// lines, bad endpoints and weights, broken headers, and structurally
+// invalid results (negative ids surface through Validate).
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"one-field line", "0 1\n2\n", "malformed edge line"},
+		{"non-numeric endpoint", "0 x\n", "bad endpoint"},
+		{"overflowing endpoint", "0 99999999999999\n", "bad endpoint"},
+		{"non-numeric weight", "0 1 heavy\n", "bad weight"},
+		{"bad nodes header", "# nodes many\n0 1\n", "bad nodes header"},
+		{"negative vertex id", "-3 1\n", "outside"},
+		{"nonpositive weight", "0 1 -4\n", "nonpositive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadEdgeList(%q) = %v, want error containing %q", tc.input, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListSanitizesSelfLoops: self-loop lines are dropped by the
+// canonicalization pass (SNAP dumps contain them), not rejected.
+func TestReadEdgeListSanitizesSelfLoops(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("2 2\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m = %d, want the self-loop dropped", g.M())
+	}
+}
+
+// TestReadEdgeListDeclaredN: a nodes header larger than the max vertex id
+// must win (isolated tail vertices), and a smaller one must not truncate.
+func TestReadEdgeListDeclaredN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nodes 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 {
+		t.Fatalf("declared nodes ignored: n = %d, want 10", g.N)
+	}
+	g, err = ReadEdgeList(strings.NewReader("# nodes 2\n0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 6 {
+		t.Fatalf("undersized header truncated: n = %d, want 6", g.N)
+	}
+}
+
+// TestLoadFileMissing: a nonexistent path must return the os error, not
+// panic or yield an empty graph.
+func TestLoadFileMissing(t *testing.T) {
+	g, err := LoadFile(filepath.Join(t.TempDir(), "no-such-graph.txt"))
+	if err == nil || g != nil {
+		t.Fatalf("LoadFile(missing) = %v, %v; want nil graph and an error", g, err)
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("LoadFile(missing) error = %v, want IsNotExist", err)
 	}
 }
 

@@ -14,11 +14,13 @@ import (
 //	GET    /graphs           list registered graphs
 //	POST   /graphs/{name}    register a graph from a GraphSpec body
 //	GET    /graphs/{name}    describe one graph
+//	PATCH  /graphs/{name}    apply a MutateRequest mutation batch
 //	DELETE /graphs/{name}    evict a graph (and its cached results)
 //	POST   /query            answer a QueryRequest body with a QueryResult
 //
 // Every response body is JSON; errors are {"error": "..."} with a 4xx/5xx
-// status (404 for unknown graphs, 400 for malformed requests).
+// status (404 for unknown graphs, 409 when a mutation raced a replacement,
+// 413 for oversized request bodies, 400 for malformed requests).
 func NewMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -36,8 +38,8 @@ func NewMux(s *Server) *http.ServeMux {
 
 	mux.HandleFunc("POST /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		var spec GraphSpec
-		if err := decodeJSON(r, &spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := decodeJSON(w, r, &spec); err != nil {
+			writeError(w, statusFor(err), err)
 			return
 		}
 		info, err := s.GenerateGraph(r.PathValue("name"), spec)
@@ -57,6 +59,20 @@ func NewMux(s *Server) *http.ServeMux {
 		writeJSON(w, http.StatusOK, info)
 	})
 
+	mux.HandleFunc("PATCH /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var req MutateRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		res, err := s.Mutate(r.PathValue("name"), req.Mutations)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
 	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Evict(r.PathValue("name")); err != nil {
 			writeError(w, statusFor(err), err)
@@ -67,8 +83,8 @@ func NewMux(s *Server) *http.ServeMux {
 
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, statusFor(err), err)
 			return
 		}
 		res, err := s.Query(req)
@@ -83,14 +99,24 @@ func NewMux(s *Server) *http.ServeMux {
 }
 
 func statusFor(err error) int {
-	if errors.Is(err, ErrGraphNotFound) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrGraphNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrGraphConflict):
+		return http.StatusConflict
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
 }
 
-func decodeJSON(r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeJSON parses a bounded request body. The ResponseWriter is threaded
+// through to MaxBytesReader so it can close the connection on overflow,
+// and the resulting *http.MaxBytesError reaches statusFor as a 413 rather
+// than a generic 400.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(dst)
 }

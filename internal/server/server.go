@@ -33,6 +33,11 @@ import (
 // not registered.
 var ErrGraphNotFound = errors.New("server: graph not found")
 
+// ErrGraphConflict is returned by Mutate when the named graph was replaced
+// or evicted while the mutation batch was being computed; the mutation did
+// not take effect.
+var ErrGraphConflict = errors.New("server: graph replaced during mutation")
+
 // Config parameterizes a Server.
 type Config struct {
 	// Workers is the shared-memory parallelism handed to every compute
@@ -44,6 +49,11 @@ type Config struct {
 	// default of 256 entries; negative disables caching (every query
 	// computes, though concurrent identical queries still coalesce).
 	CacheSize int
+	// DirtyThreshold is handed to each graph's dynamic engine: the
+	// affected-source fraction above which a mutation batch falls back to
+	// full recomputation (0 = library default 0.25, negative = always
+	// incremental).
+	DirtyThreshold float64
 }
 
 const defaultCacheSize = 256
@@ -52,24 +62,29 @@ const defaultCacheSize = 256
 type Server struct {
 	workers   int
 	cacheSize int
+	dirty     float64
 
 	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
 	// replaceable by tests to observe or stall computations.
 	computeExact  func(*repro.Graph, repro.Options) (*repro.Result, error)
 	computeApprox func(*repro.Graph, int, int64, repro.Options) (*repro.Result, error)
 
-	mu     sync.Mutex
-	graphs map[string]*graphEntry
-	cache  map[string]*list.Element // cache key → element of lru
-	lru    *list.List               // front = most recently used *cacheEntry
-	flight map[string]*flightCall   // cache key → in-flight computation
-	stats  Stats
+	mu       sync.Mutex
+	graphs   map[string]*graphEntry
+	cache    map[string]*list.Element // cache key → element of lru
+	lru      *list.List               // front = most recently used *cacheEntry
+	flight   map[string]*flightCall   // cache key → in-flight computation
+	mutLocks map[string]*sync.Mutex   // graph name → mutation serializer
+	stats    Stats
 }
 
 type graphEntry struct {
 	g        *repro.Graph
 	version  uint64 // repro.Fingerprint at registration
 	loadedAt time.Time
+	// dyn is the graph's streaming engine, created on the first mutation
+	// and carried across versions so incremental applies keep warm scores.
+	dyn *repro.DynamicBC
 }
 
 type cacheEntry struct {
@@ -97,6 +112,8 @@ type Stats struct {
 	Coalesced    int64 `json:"coalesced"`     // piggybacked on an in-flight compute
 	Computes     int64 `json:"computes"`      // underlying engine runs started
 	Evictions    int64 `json:"evictions"`     // cache entries dropped (LRU or purge)
+	Mutations    int64 `json:"mutations"`     // mutation batches applied
+	WarmSeeds    int64 `json:"warm_seeds"`    // cache entries seeded from dynamic-engine scores
 }
 
 // New creates a Server.
@@ -111,12 +128,14 @@ func New(cfg Config) *Server {
 	return &Server{
 		workers:       cfg.Workers,
 		cacheSize:     size,
+		dirty:         cfg.DirtyThreshold,
 		computeExact:  repro.Compute,
 		computeApprox: repro.ApproximateBC,
 		graphs:        make(map[string]*graphEntry),
 		cache:         make(map[string]*list.Element),
 		lru:           list.New(),
 		flight:        make(map[string]*flightCall),
+		mutLocks:      make(map[string]*sync.Mutex),
 	}
 }
 
@@ -190,8 +209,21 @@ func (s *Server) Evict(name string) error {
 		return ErrGraphNotFound
 	}
 	delete(s.graphs, name)
+	delete(s.mutLocks, name)
 	s.purgeLocked(name)
 	return nil
+}
+
+// putCacheLocked inserts ce at the front of the LRU, evicting past the
+// bound. Callers hold s.mu and have checked s.cacheSize > 0.
+func (s *Server) putCacheLocked(ce *cacheEntry) {
+	s.cache[ce.key] = s.lru.PushFront(ce)
+	for s.lru.Len() > s.cacheSize {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.cache, oldest.Value.(*cacheEntry).key)
+		s.stats.Evictions++
+	}
 }
 
 // purgeLocked drops every cache entry belonging to the named graph.
@@ -205,6 +237,126 @@ func (s *Server) purgeLocked(name string) {
 		}
 		el = next
 	}
+}
+
+// MutateRequest is one mutation batch for a registered graph, the body of
+// PATCH /graphs/{name}.
+type MutateRequest struct {
+	Mutations []repro.Mutation `json:"mutations"`
+}
+
+// MutateResult reports one applied batch: version bump, strategy the
+// dynamic engine chose, and the resulting topology size.
+type MutateResult struct {
+	Graph           string  `json:"graph"`
+	OldVersion      uint64  `json:"old_version"`
+	Version         uint64  `json:"version"`
+	Seq             uint64  `json:"seq"`
+	Applied         int     `json:"applied"`
+	AffectedSources int     `json:"affected_sources"`
+	Strategy        string  `json:"strategy"`
+	Sampled         bool    `json:"sampled"`
+	N               int     `json:"n"`
+	M               int     `json:"m"`
+	ComputeMS       float64 `json:"compute_ms"`
+}
+
+// mutLockFor returns the per-graph mutation serializer, creating it on
+// first use. Mutations to different graphs proceed concurrently; batches
+// for one graph apply in order.
+func (s *Server) mutLockFor(name string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lk, ok := s.mutLocks[name]
+	if !ok {
+		lk = &sync.Mutex{}
+		s.mutLocks[name] = lk
+	}
+	return lk
+}
+
+// Mutate atomically applies a mutation batch to the named graph through
+// its dynamic engine (created, with an initial exact compute, on the first
+// mutation). On success the registry entry is replaced with the new
+// version, only that graph's cache entries are purged, and — when the
+// engine holds exact scores — the maintained vector is seeded into the
+// cache under the default exact query key, so the next query after a
+// mutation is a warm hit instead of a recompute. Queries concurrent with
+// Mutate see either the old or the new version, never a torn state.
+func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, error) {
+	if len(muts) == 0 {
+		return nil, errors.New("server: empty mutation batch")
+	}
+	lk := s.mutLockFor(name)
+	lk.Lock()
+	defer lk.Unlock()
+
+	s.mu.Lock()
+	ge, ok := s.graphs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	oldVersion := ge.version
+	dyn := ge.dyn
+	s.mu.Unlock()
+
+	if dyn == nil {
+		var err error
+		dyn, err = repro.NewDynamicBC(ge.g, repro.DynamicOptions{
+			Workers: s.workers, DirtyThreshold: s.dirty,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Attach the engine (and its expensive initial exact compute) to the
+		// live entry right away, so a failing batch below doesn't force the
+		// next PATCH to redo the base computation.
+		s.mu.Lock()
+		if s.graphs[name] == ge {
+			ge.dyn = dyn
+		}
+		s.mu.Unlock()
+	}
+	rep, err := dyn.Apply(muts)
+	if err != nil {
+		return nil, err
+	}
+	snap := dyn.Scores()
+	ne := &graphEntry{g: snap.Graph, version: snap.Version, loadedAt: ge.loadedAt, dyn: dyn}
+
+	s.mu.Lock()
+	if s.graphs[name] != ge {
+		// Evicted or replaced while the batch computed; the engine's state
+		// is orphaned with it and the caller must retry against whatever is
+		// registered now.
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrGraphConflict, name)
+	}
+	s.purgeLocked(name) // delta-aware: only this graph's entries drop
+	s.graphs[name] = ne
+	s.stats.Mutations++
+	if !snap.Sampled && s.cacheSize > 0 {
+		seed := QueryRequest{Graph: name}
+		seed.normalize()
+		key := cacheKey(name, snap.Version, seed)
+		if _, dup := s.cache[key]; !dup {
+			s.putCacheLocked(&cacheEntry{
+				key:   key,
+				graph: name,
+				res:   &repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: 1},
+				wall:  time.Duration(rep.WallMS * float64(time.Millisecond)),
+			})
+			s.stats.WarmSeeds++
+		}
+	}
+	s.mu.Unlock()
+
+	return &MutateResult{
+		Graph: name, OldVersion: oldVersion, Version: rep.Version, Seq: rep.Seq,
+		Applied: rep.Applied, AffectedSources: rep.Affected, Strategy: rep.Strategy,
+		Sampled: rep.Sampled, N: rep.N, M: rep.M, ComputeMS: rep.WallMS,
+	}, nil
 }
 
 // GraphInfoFor returns the registered graph's description.
@@ -383,13 +535,7 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 		return render(req, ge.version, ce, false, false), nil
 	}
 	if s.cacheSize > 0 {
-		s.cache[key] = s.lru.PushFront(ce)
-		for s.lru.Len() > s.cacheSize {
-			oldest := s.lru.Back()
-			s.lru.Remove(oldest)
-			delete(s.cache, oldest.Value.(*cacheEntry).key)
-			s.stats.Evictions++
-		}
+		s.putCacheLocked(ce)
 	}
 	s.mu.Unlock()
 	close(fc.done)

@@ -27,10 +27,7 @@ package repro
 
 import (
 	"container/heap"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"math/rand"
 
 	"repro/internal/baseline"
@@ -258,28 +255,7 @@ func TopK(bc []float64, k int) []int {
 // fingerprint hold the same topology regardless of their Name; any edit to
 // the edge set changes it. The server layer uses it as the graph version in
 // result-cache keys.
-func Fingerprint(g *Graph) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		h.Write(buf[:])
-	}
-	put(uint64(g.N))
-	flags := uint64(0)
-	if g.Directed {
-		flags |= 1
-	}
-	if g.Weighted {
-		flags |= 2
-	}
-	put(flags)
-	for _, e := range g.Edges {
-		put(uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
-		put(math.Float64bits(e.W))
-	}
-	return h.Sum64()
-}
+func Fingerprint(g *Graph) uint64 { return graph.Fingerprint(g) }
 
 // SSSPResult re-exports the shortest-path result type.
 type SSSPResult = core.SSSPResult
