@@ -10,6 +10,7 @@
 //
 //	mfbc-serve -addr :8080
 //	mfbc-serve -addr :8080 -preload social=graph.txt -cache 512 -workers 0 -dirty 0.25
+//	mfbc-serve -addr :8080 -dyn-procs 16 -log-compact 8192 -log-truncate
 //
 // Then:
 //
@@ -17,6 +18,11 @@
 //	curl -X POST localhost:8080/query -d '{"graph":"demo","k":10}'
 //	curl -X PATCH localhost:8080/graphs/demo -d '{"mutations":[{"op":"add_edge","u":3,"v":9,"w":1}]}'
 //	curl -X POST localhost:8080/query -d '{"graph":"demo","k":10}'   # warm hit on the new version
+//
+// With -dyn-procs p, each PATCH re-runs its affected pivots on the
+// simulated p-processor machine (stationary operands stay resident and are
+// delta-patched between batches) and the response carries the modeled
+// communication: {"procs":16,"plan":"4x2x2/X=B/YZ=AB","comm":{"bytes":...}}.
 package main
 
 import (
@@ -36,9 +42,12 @@ func main() {
 	cache := flag.Int("cache", 256, "max cached results (negative disables caching)")
 	preload := flag.String("preload", "", "comma-separated name=path edge-list files to register at startup")
 	dirty := flag.Float64("dirty", 0, "mutation dirtiness threshold: affected-source fraction above which a PATCH recomputes fully (0 = default 0.25, negative = always incremental)")
+	dynProcs := flag.Int("dyn-procs", 0, "run mutation re-computation on the simulated distributed machine with this many processors (≤1 = shared-memory path); PATCH responses then report modeled communication and the plan chosen")
+	logCompact := flag.Int("log-compact", 0, "mutation-log bound per graph before automatic compaction/truncation (0 = default 4096, negative = unmanaged)")
+	logTruncate := flag.Bool("log-truncate", false, "past the log bound, snapshot the graph as the new replay base and truncate the log instead of compacting it")
 	flag.Parse()
 
-	s, err := buildServer(*workers, *cache, *dirty, *preload)
+	s, err := buildServer(*workers, *cache, *dirty, *dynProcs, *logCompact, *logTruncate, *preload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
 		os.Exit(1)
@@ -53,8 +62,11 @@ func main() {
 
 // buildServer wires flags into a ready service; split from main so the
 // end-to-end test drives the exact production configuration.
-func buildServer(workers, cache int, dirty float64, preload string) (*server.Server, error) {
-	s := server.New(server.Config{Workers: workers, CacheSize: cache, DirtyThreshold: dirty})
+func buildServer(workers, cache int, dirty float64, dynProcs, logCompact int, logTruncate bool, preload string) (*server.Server, error) {
+	s := server.New(server.Config{
+		Workers: workers, CacheSize: cache, DirtyThreshold: dirty,
+		DynProcs: dynProcs, LogCompactAt: logCompact, LogTruncate: logTruncate,
+	})
 	for _, pair := range strings.Split(preload, ",") {
 		pair = strings.TrimSpace(pair)
 		if pair == "" {

@@ -23,7 +23,9 @@ func TestEndToEndSession(t *testing.T) {
 	if err := repro.SaveGraph(path, g); err != nil {
 		t.Fatal(err)
 	}
-	s, err := buildServer(1, 64, 0, "social="+path)
+	// -dyn-procs 2: mutation batches run on the simulated 2-processor
+	// machine, so the PATCH response must carry modeled communication.
+	s, err := buildServer(1, 64, 0, 2, 0, false, "social="+path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +132,10 @@ func TestEndToEndSession(t *testing.T) {
 	if mres.Version == before.Version || mres.M != before.M+1 {
 		t.Fatalf("mutation result %+v (before %+v)", mres, before)
 	}
+	if mres.Procs != 2 || mres.Plan == "" || mres.Comm.Bytes == 0 {
+		t.Fatalf("distributed PATCH reported no machine-model stats: procs=%d plan=%q comm=%+v",
+			mres.Procs, mres.Plan, mres.Comm)
+	}
 	var roadQ server.QueryResult
 	post("/query", server.QueryRequest{Graph: "road", K: 3}, http.StatusOK, &roadQ)
 	if roadQ.Version != mres.Version {
@@ -159,13 +165,13 @@ func TestEndToEndSession(t *testing.T) {
 }
 
 func TestBuildServerPreloadErrors(t *testing.T) {
-	if _, err := buildServer(1, 0, 0, "badentry"); err == nil {
+	if _, err := buildServer(1, 0, 0, 0, 0, false, "badentry"); err == nil {
 		t.Fatal("malformed -preload entry must fail")
 	}
-	if _, err := buildServer(1, 0, 0, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if _, err := buildServer(1, 0, 0, 0, 0, false, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing preload file must fail")
 	}
-	s, err := buildServer(1, 0, 0, " ")
+	s, err := buildServer(1, 0, 0, 0, 0, false, " ")
 	if err != nil || len(s.Graphs()) != 0 {
 		t.Fatalf("blank preload must yield an empty registry: %v", err)
 	}

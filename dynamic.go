@@ -4,7 +4,13 @@
 //	dyn, _ := repro.NewDynamicBC(g, repro.DynamicOptions{})
 //	dyn.Apply([]repro.Mutation{{Op: repro.MutAddEdge, U: 3, V: 9, W: 1}})
 //	snap := dyn.Scores() // consistent (graph version, scores) snapshot
-
+//
+// With Procs > 1 the engine runs every exact sweep on the simulated
+// distributed machine, keeping the stationary adjacency operands resident
+// across applies and delta-patching them with each batch's edge diff; the
+// per-apply ApplyReport and the cumulative DynamicSnapshot then carry the
+// modeled communication (critical-path words, messages, α–β–γ seconds)
+// and the decomposition plan chosen.
 package repro
 
 import (
@@ -12,6 +18,8 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/spgemm"
 )
 
 // Mutation is one graph edit; Op selects the kind (see the Mut* constants).
@@ -41,21 +49,50 @@ type DynamicOptions struct {
 	RefreshEvery int
 	// Seed drives sampled-mode source selection.
 	Seed int64
+
+	// Procs > 1 runs the engine's sweeps (initial compute, incremental
+	// pivot re-runs, full fallbacks, sampled estimates) on the simulated
+	// distributed machine with this many processors, with the stationary
+	// adjacency operands kept resident and delta-patched across applies.
+	Procs int
+	// Plan forces one decomposition for every distributed multiplication;
+	// Constraint restricts the automatic search (plan ablations on the
+	// streaming workload); Model overrides the α–β–γ constants.
+	Plan       *spgemm.Plan
+	Constraint spgemm.Constraint
+	Model      *machine.CostModel
+	// DistRebuild disables operand delta-patching (full redistribution per
+	// apply): the differential-test/ablation baseline. Scores are
+	// identical; only the modeled communication grows.
+	DistRebuild bool
+
+	// LogCompactAt bounds the mutation log (0 = default 4096, negative =
+	// unmanaged); LogTruncate switches over-bound handling from compaction
+	// to snapshot+truncate (see DynamicBC.LogBase).
+	LogCompactAt int
+	LogTruncate  bool
 }
 
+// CommStats re-exports the engine's modeled-communication aggregate.
+type CommStats = dynamic.CommStats
+
 // ApplyReport describes one applied mutation batch: the strategy chosen
-// (incremental / full / sampled), how many pivots were re-run, and the new
-// graph version.
+// (incremental / full / sampled), how many pivots were re-run, the new
+// graph version, and — in distributed mode — the modeled communication and
+// decomposition plan of this apply's machine runs.
 type ApplyReport struct {
-	Seq      uint64  `json:"seq"`
-	Version  uint64  `json:"version"`
-	Applied  int     `json:"applied"`
-	Affected int     `json:"affected_sources"`
-	Strategy string  `json:"strategy"`
-	Sampled  bool    `json:"sampled"`
-	N        int     `json:"n"`
-	M        int     `json:"m"`
-	WallMS   float64 `json:"wall_ms"`
+	Seq      uint64     `json:"seq"`
+	Version  uint64     `json:"version"`
+	Applied  int        `json:"applied"`
+	Affected int        `json:"affected_sources"`
+	Strategy string     `json:"strategy"`
+	Sampled  bool       `json:"sampled"`
+	N        int        `json:"n"`
+	M        int        `json:"m"`
+	Procs    int        `json:"procs,omitempty"`
+	Plan     string     `json:"plan,omitempty"`
+	Comm     CommReport `json:"comm"`
+	WallMS   float64    `json:"wall_ms"`
 }
 
 // DynamicSnapshot is a consistent view of the maintained state. Graph is
@@ -69,6 +106,11 @@ type DynamicSnapshot struct {
 	// Sampled reports that BC holds sampled estimates (between exact
 	// refreshes in sampled mode) rather than exact scores.
 	Sampled bool
+	// Plan is the representative decomposition of the latest distributed
+	// run; Comm accumulates the modeled communication of every machine run
+	// up to this snapshot. Both are zero-valued on shared-memory engines.
+	Plan string
+	Comm CommReport
 }
 
 // DynamicStats re-exports the engine's cumulative counters.
@@ -91,11 +133,28 @@ func NewDynamicBC(g *Graph, opt DynamicOptions) (*DynamicBC, error) {
 		SampleBudget:   opt.SampleBudget,
 		RefreshEvery:   opt.RefreshEvery,
 		Seed:           opt.Seed,
+		Procs:          opt.Procs,
+		Plan:           opt.Plan,
+		Constraint:     opt.Constraint,
+		Model:          opt.Model,
+		DistRebuild:    opt.DistRebuild,
+		LogCompactAt:   opt.LogCompactAt,
+		LogTruncate:    opt.LogTruncate,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &DynamicBC{eng: eng}, nil
+}
+
+// dynCommReport converts the engine's comm aggregate into the public
+// CommReport shape (WallSec stays zero: host wall time is reported
+// separately per apply).
+func dynCommReport(c dynamic.CommStats) CommReport {
+	return CommReport{
+		Bytes: c.Bytes, Msgs: c.Msgs, Flops: c.Flops,
+		ModelSec: c.ModelSec, CommSec: c.CommSec,
+	}
 }
 
 // Apply atomically applies one mutation batch and refreshes the scores.
@@ -108,14 +167,19 @@ func (d *DynamicBC) Apply(batch []Mutation) (ApplyReport, error) {
 	return ApplyReport{
 		Seq: rep.Seq, Version: rep.Version, Applied: rep.Applied,
 		Affected: rep.Affected, Strategy: string(rep.Strategy), Sampled: rep.Sampled,
-		N: rep.N, M: rep.M, WallMS: float64(rep.Wall) / float64(time.Millisecond),
+		N: rep.N, M: rep.M, Procs: rep.Procs, Plan: rep.Plan,
+		Comm:   dynCommReport(rep.Comm),
+		WallMS: float64(rep.Wall) / float64(time.Millisecond),
 	}, nil
 }
 
 // Scores returns the current consistent snapshot of the maintained state.
 func (d *DynamicBC) Scores() DynamicSnapshot {
 	s := d.eng.Snapshot()
-	return DynamicSnapshot{Graph: s.Graph, BC: s.BC, Version: s.Version, Seq: s.Seq, Sampled: s.Sampled}
+	return DynamicSnapshot{
+		Graph: s.Graph, BC: s.BC, Version: s.Version, Seq: s.Seq, Sampled: s.Sampled,
+		Plan: s.Plan, Comm: dynCommReport(s.Comm),
+	}
 }
 
 // Graph returns the current immutable topology snapshot. Callers must not
@@ -125,10 +189,19 @@ func (d *DynamicBC) Graph() *Graph { return d.eng.Snapshot().Graph }
 // Stats returns cumulative engine counters.
 func (d *DynamicBC) Stats() DynamicStats { return d.eng.Stats() }
 
-// Log returns the (possibly compacted) mutation history: replaying it on
-// the graph the engine started from reproduces the current topology.
+// Log returns the (possibly compacted or truncated) mutation history:
+// replaying it on LogBase reproduces the current topology.
 func (d *DynamicBC) Log() []Mutation { return d.eng.Log() }
+
+// LogBase returns the immutable graph snapshot the mutation log replays
+// from (the engine's initial graph until the first truncation) and its
+// version.
+func (d *DynamicBC) LogBase() (*Graph, uint64) { return d.eng.LogBase() }
 
 // CompactLog rewrites the mutation log to its minimal replay-equivalent
 // form.
 func (d *DynamicBC) CompactLog() { d.eng.CompactLog() }
+
+// TruncateLog snapshots the current graph as the new replay base and
+// empties the log, returning the new base version.
+func (d *DynamicBC) TruncateLog() uint64 { return d.eng.TruncateLog() }

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/spgemm"
 )
 
 func dynSeeds() []int64 {
@@ -139,6 +140,98 @@ func TestDynamicDifferential(t *testing.T) {
 					}
 					if eng.name == "incremental" && st.FullRecomputes != 0 {
 						t.Fatalf("always-incremental engine recomputed fully: %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDynamicDistributedDifferential replays seeded mutation sequences
+// through distributed-mode engines — procs 2 and 4 under 1D/2D/3D plan
+// constraints — comparing every prefix against a from-scratch
+// repro.Compute at 1e-9, and pins that delta-patched operands produce
+// bit-identical plans and scores to full per-apply redistribution.
+// MFBC_DIFFTEST_SEEDS widens the seed matrix as in the static harness.
+func TestDynamicDistributedDifferential(t *testing.T) {
+	topologies := []struct {
+		name     string
+		build    func(seed int64) *Graph
+		weighted bool
+	}{
+		{"rmat", func(seed int64) *Graph { return RMATGraph(5, 6, seed) }, false},
+		{"grid-weighted", func(seed int64) *Graph { return GridGraph(6, 6, 8, seed) }, true},
+	}
+	engines := []struct {
+		name string
+		opt  DynamicOptions
+	}{
+		{"p2", DynamicOptions{Procs: 2, Workers: 1}},
+		{"p2-1d", DynamicOptions{Procs: 2, Workers: 1, Constraint: spgemm.Only1D}},
+		{"p4-2d", DynamicOptions{Procs: 4, Workers: 1, Constraint: spgemm.Only2D}},
+		{"p4-3d", DynamicOptions{Procs: 4, Workers: 1, Constraint: spgemm.Only3D}},
+	}
+	for _, topo := range topologies {
+		for _, eng := range engines {
+			for _, seed := range dynSeeds() {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", topo.name, eng.name, seed), func(t *testing.T) {
+					g := topo.build(seed)
+					dyn, err := NewDynamicBC(g, eng.opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rebuildOpt := eng.opt
+					rebuildOpt.DistRebuild = true
+					rebuild, err := NewDynamicBC(g, rebuildOpt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					shadow := g.Clone()
+					rng := rand.New(rand.NewSource(seed * 13))
+					for step := 0; step < 4; step++ {
+						batch := make([]Mutation, 1+rng.Intn(2))
+						for i := range batch {
+							batch[i] = dynMutation(rng, shadow, topo.weighted)
+							if err := shadow.Apply(batch[i]); err != nil {
+								t.Fatalf("step %d: shadow: %v", step, err)
+							}
+						}
+						rep, err := dyn.Apply(batch)
+						if err != nil {
+							t.Fatalf("step %d: %v", step, err)
+						}
+						rrep, err := rebuild.Apply(batch)
+						if err != nil {
+							t.Fatalf("step %d: rebuild engine: %v", step, err)
+						}
+						if rep.Plan != rrep.Plan {
+							t.Fatalf("step %d: plans diverged: patched %q vs rebuilt %q", step, rep.Plan, rrep.Plan)
+						}
+						snap := dyn.Scores()
+						if snap.Version != Fingerprint(shadow) {
+							t.Fatalf("step %d: version mismatch vs shadow replay", step)
+						}
+						rsnap := rebuild.Scores()
+						for v := range snap.BC {
+							if snap.BC[v] != rsnap.BC[v] {
+								t.Fatalf("step %d: bc[%d] bit-diverged between delta-patch and full redistribution: %v vs %v",
+									step, v, snap.BC[v], rsnap.BC[v])
+							}
+						}
+						want, err := Compute(shadow, Options{Engine: EngineMFBC})
+						if err != nil {
+							t.Fatalf("step %d: from-scratch: %v", step, err)
+						}
+						for v := range want.BC {
+							if !almostEqual(snap.BC[v], want.BC[v]) {
+								t.Fatalf("step %d (%s): bc[%d] = %v, from-scratch %v",
+									step, rep.Strategy, v, snap.BC[v], want.BC[v])
+							}
+						}
+					}
+					// The engine's runs really happened on the machine model.
+					if st := dyn.Stats(); st.Comm.Runs == 0 || st.Comm.Bytes == 0 {
+						t.Fatalf("distributed engine accumulated no modeled communication: %+v", st.Comm)
 					}
 				})
 			}

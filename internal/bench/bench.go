@@ -70,12 +70,17 @@ type Point struct {
 	Msgs       int64   `json:"msgs"`       // critical-path messages
 	Iters      int     `json:"iters"`
 	Err        string  `json:"err,omitempty"` // engines can fail (reproducing the paper's CombBLAS failures)
+	// Streaming-scenario fields (experiment "streaming-dist"): the
+	// strategy the dynamic engine chose for the apply and how many
+	// sources it re-ran.
+	Strategy string `json:"strategy,omitempty"`
+	Affected int    `json:"affected,omitempty"`
 }
 
 // Experiments lists the available experiment ids in presentation order.
 var Experiments = []string{
 	"table2", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "table3",
-	"ablate-decomp", "ablate-batch", "ablate-cannon",
+	"ablate-decomp", "ablate-batch", "ablate-cannon", "streaming-dist",
 }
 
 // Run executes one experiment by id.
@@ -102,6 +107,8 @@ func Run(id string, cfg Config) ([]Point, error) {
 		return AblateBatch(cfg)
 	case "ablate-cannon":
 		return AblateCannon(cfg)
+	case "streaming-dist":
+		return StreamingDist(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
 	}

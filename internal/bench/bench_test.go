@@ -34,11 +34,51 @@ func TestAllExperimentsSmoke(t *testing.T) {
 				t.Fatalf("%s printed nothing", id)
 			}
 			for _, p := range pts {
-				if p.Err == "" && id != "table2" && p.MTEPSNode <= 0 {
+				// table2 reports graph properties and streaming-dist reports
+				// comm trajectories; neither carries a throughput rate.
+				if p.Err == "" && id != "table2" && id != "streaming-dist" && p.MTEPSNode <= 0 {
 					t.Fatalf("%s: %s/%s p=%d has no rate", id, p.Graph, p.Engine, p.Procs)
+				}
+				if id == "streaming-dist" && p.Strategy == "" {
+					t.Fatalf("%s: %s/%s p=%d has no strategy", id, p.Graph, p.Engine, p.Procs)
 				}
 			}
 		})
+	}
+}
+
+// TestStreamingDistAmortizes: the emitted trajectory must show operand
+// reuse — every incremental apply that re-ran a minority of sources moves
+// fewer modeled bytes than the from-scratch run at the same proc count.
+func TestStreamingDistAmortizes(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seed = 3 // this stream contains a small-footprint congestion apply
+	pts, err := Run("streaming-dist", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[int]int64{}
+	for _, p := range pts {
+		if p.Strategy == "from-scratch" {
+			baseline[p.Procs] = p.Bytes
+		}
+	}
+	checked := 0
+	for _, p := range pts {
+		if p.Strategy != "incremental" || p.Affected == 0 || p.Affected > p.N/4 {
+			continue
+		}
+		full, ok := baseline[p.Procs]
+		if !ok {
+			t.Fatalf("no from-scratch baseline for p=%d", p.Procs)
+		}
+		if p.Bytes >= full {
+			t.Fatalf("incremental apply (affected %d/%d) moved %d bytes, from-scratch %d", p.Affected, p.N, p.Bytes, full)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no small-footprint incremental applies in this seed's stream (seed drifted?)")
 	}
 }
 

@@ -8,8 +8,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/algebra"
 	"repro/internal/distmat"
 	"repro/internal/graph"
@@ -87,89 +85,36 @@ func (pl planner) planFor(rows int, nnzA int64, bytesA int64) spgemm.Plan {
 }
 
 // MFBCDistributed computes betweenness centrality on the simulated
-// distributed machine.
+// distributed machine. It is the one-shot form of a DistSession: operands
+// are built, staged, and discarded with the run. Explicit opt.Sources are
+// processed as a single batch (benchmark mode); streaming callers that
+// want cross-run operand reuse hold a DistSession instead (dyndist.go).
 func MFBCDistributed(g *graph.Graph, opt DistOptions) (*DistResult, error) {
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	p := opt.Procs
-	if p < 1 {
-		p = 1
+	s, err := NewDistSession(g, opt)
+	if err != nil {
+		return nil, err
 	}
 	nb := Options{Batch: opt.Batch}.batchFor(g.N)
 	if opt.Sources != nil {
 		nb = len(opt.Sources)
 	}
-	mach := machine.New(p)
-	if opt.Model != nil {
-		mach.Model = *opt.Model
-	}
-	pl := planner{
-		p: p, n: g.N, adjNNZ: int64(g.AdjacencyNNZ()),
-		model: mach.Model, cons: opt.Constraint, forced: opt.Plan,
-	}
-	if opt.Plan != nil && opt.Plan.Procs() != p {
-		return nil, fmt.Errorf("core: plan %s does not tile %d processors", opt.Plan, p)
-	}
-	// The representative plan reported back: the one a typical frontier
-	// product gets (individual operations may choose differently).
-	plan := pl.planFor(nb, int64(float64(nb)*g.AvgDegree()), multpathBytes)
-
-	// Generator-replicated inputs: every processor derives its owned pieces
-	// from the same deterministic global structure (no comm charged; the
-	// paper's benchmarks also exclude graph load).
-	trop := algebra.TropicalMonoid()
-	adjCSR := g.Adjacency()
-	adjCOO := adjCSR.ToCOO()
-	atCOO := sparse.Transpose(adjCSR).ToCOO()
-
-	res := &DistResult{Plan: plan, BC: make([]float64, g.N)}
-	itersPer := make([]int, p)
-	bcPer := make([][]float64, p)
-
-	stats, err := mach.Run(func(proc *machine.Proc) {
-		world := proc.World()
-		sess := spgemm.NewSession(proc)
-		sess.Workers = opt.Workers
-		shard := distmat.DistShard(p)
-		aMat := distmat.FromGlobal(proc.Rank(), adjCOO, shard, trop)
-		atMat := distmat.FromGlobal(proc.Rank(), atCOO, shard, trop)
-		bc := make([]float64, g.N)
-		iters := 0
-		batches := 0
-		for _, sources := range batchList(g.N, nb, opt.Sources) {
-			batches++
-			t, itF := distMFBF(sess, pl, aMat, adjCSR, sources, shard)
-			z, t, itB := distMFBr(sess, pl, atMat, t, sources)
-			iters += itF + itB
-			distmat.ZipJoin(z, t, func(_, j int32, zc algebra.CentPath, tm algebra.MultPath) {
-				bc[j] += zc.P * tm.M
-			})
-		}
-		// One deferred dense reduction accumulates λ across processors.
-		total := machine.Allreduce(world, bc, func(a, b float64) float64 { return a + b })
-		itersPer[proc.Rank()] = iters
-		bcPer[proc.Rank()] = total
-		if proc.Rank() == 0 {
-			res.Batches = batches
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Stats = stats
-	res.Iterations = itersPer[0]
-	copy(res.BC, bcPer[0])
-	return res, nil
+	return s.run(opt.Sources, nb)
 }
 
-// batchList partitions 0..n-1 into batches of nb sources, or returns the
-// single explicit batch when one is given.
+// batchList partitions 0..n-1 into batches of nb sources, or chunks the
+// explicit source list into nb-sized batches when one is given.
 func batchList(n, nb int, explicit []int32) [][]int32 {
-	if explicit != nil {
-		return [][]int32{explicit}
-	}
 	var out [][]int32
+	if explicit != nil {
+		for lo := 0; lo < len(explicit); lo += nb {
+			hi := lo + nb
+			if hi > len(explicit) {
+				hi = len(explicit)
+			}
+			out = append(out, explicit[lo:hi])
+		}
+		return out
+	}
 	for lo := 0; lo < n; lo += nb {
 		hi := lo + nb
 		if hi > n {

@@ -19,6 +19,17 @@
 //     repro.ApproximateBC uses), taking an exact full refresh every
 //     RefreshEvery batches.
 //
+// With Config.Procs > 1 every exact sweep — the initial scores, the
+// incremental pivot re-runs, and the full-recompute fallbacks — executes
+// on the simulated distributed machine through a persistent
+// core.DistSession: the stationary adjacency operands (A, Aᵀ) stay
+// resident across applies and each batch's edge diff is delta-patched into
+// the resident blocks instead of redistributing the whole matrix, so the
+// once-per-run placement cost of Theorem 5.1 amortizes across the whole
+// mutation stream. The modeled communication of each apply (critical-path
+// words, messages, α–β–γ seconds, plan chosen) is reported per apply and
+// accumulated into the snapshot.
+//
 // Affected-source detection is conservative-exact: a source s is re-run
 // iff some edge of the effective batch diff lies on a shortest path from s
 // in the pre-batch or post-batch graph. If no old or new shortest path
@@ -26,8 +37,8 @@
 // length and no shorter or additional path can have appeared, so δ(s,·)
 // is unchanged and skipping s is exact. Membership is decided from
 // distances to the mutated endpoints (one multi-source reverse SSSP per
-// side), with an epsilon-tolerant equality so float path sums can only
-// over-include, never under-include.
+// side, run on the snapshot's cached transpose), with an epsilon-tolerant
+// equality so float path sums can only over-include, never under-include.
 package dynamic
 
 import (
@@ -39,7 +50,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/machine"
 	"repro/internal/sparse"
+	"repro/internal/spgemm"
 )
 
 // Config parameterizes an Engine.
@@ -62,14 +75,44 @@ type Config struct {
 	RefreshEvery int
 	// Seed drives the sampled-mode source selection.
 	Seed int64
+
+	// Procs > 1 runs every exact sweep on the simulated distributed
+	// machine (core.MFBCDistributed's path) through a persistent
+	// operand-resident session; see the package comment. 0 or 1 keeps the
+	// shared-memory path.
+	Procs int
+	// Plan forces one decomposition for every distributed multiplication;
+	// nil searches automatically per operation.
+	Plan *spgemm.Plan
+	// Constraint restricts the automatic decomposition search (the 1D/2D/3D
+	// ablations of the static path, now available to streaming workloads).
+	Constraint spgemm.Constraint
+	// Model overrides the machine's α–β–γ cost constants.
+	Model *machine.CostModel
+	// DistRebuild disables stationary-operand delta-patching: the session
+	// rebuilds (and therefore fully redistributes) the adjacency operands
+	// on every apply. Scores and plans are identical either way — the
+	// differential tests pin that — but rebuilding pays the staging
+	// communication again per apply; it exists as the ablation baseline.
+	DistRebuild bool
+
+	// LogCompactAt bounds the mutation log: past this many entries the
+	// engine compacts it (or, with LogTruncate, snapshots and truncates).
+	// 0 selects the default 4096; negative disables automatic management.
+	LogCompactAt int
+	// LogTruncate switches the over-bound behavior from compaction to
+	// snapshot+truncate: the current graph becomes the new replay base
+	// (LogBase) and the log empties, so long-lived engines keep bounded
+	// logs and full replayability from the recorded base.
+	LogTruncate bool
 }
 
 const (
 	defaultDirtyThreshold = 0.25
 	defaultRefreshEvery   = 8
-	// logCompactAt bounds the mutation log: past this many entries the
-	// engine compacts it to the replay-equivalent minimal form.
-	logCompactAt = 4096
+	// defaultLogCompactAt bounds the mutation log when Config.LogCompactAt
+	// is zero.
+	defaultLogCompactAt = 4096
 )
 
 // Strategy names how one apply produced its scores.
@@ -81,26 +124,73 @@ const (
 	StrategySampled     Strategy = "sampled"
 )
 
+// CommStats aggregates the modeled communication of the simulated-machine
+// runs behind one or more applies (zero-valued on shared-memory engines):
+// critical-path words, messages, generalized flops, and α–β–γ seconds.
+type CommStats struct {
+	Runs     int64   `json:"runs"`
+	Bytes    int64   `json:"bytes"`
+	Msgs     int64   `json:"msgs"`
+	Flops    int64   `json:"flops"`
+	ModelSec float64 `json:"model_sec"`
+	CommSec  float64 `json:"comm_sec"`
+}
+
+func (c *CommStats) add(o CommStats) {
+	c.Runs += o.Runs
+	c.Bytes += o.Bytes
+	c.Msgs += o.Msgs
+	c.Flops += o.Flops
+	c.ModelSec += o.ModelSec
+	c.CommSec += o.CommSec
+}
+
+func commOf(st machine.RunStats) CommStats {
+	return CommStats{
+		Runs: 1, Bytes: st.MaxCost.Bytes, Msgs: st.MaxCost.Msgs, Flops: st.MaxCost.Flops,
+		ModelSec: st.ModelSec, CommSec: st.CommSec,
+	}
+}
+
 // state is one immutable (graph, scores) snapshot. Installed whole under
-// the engine lock; never written after installation.
+// the engine lock; never written after installation. The adjacency CSR and
+// its transpose are built exactly once per snapshot and shared by the
+// affected-source probes, the pivot re-runs, and the next apply's
+// old-side bookkeeping.
 type state struct {
 	g       *graph.Graph
+	a       *sparse.CSR[float64] // adjacency of g
+	at      *sparse.CSR[float64] // transpose of a (reverse-graph adjacency)
 	bc      []float64
 	version uint64 // graph.Fingerprint(g)
 	seq     uint64 // applies since engine creation
 	sampled bool   // bc holds sampled estimates, not exact scores
+	plan    string // representative plan of the latest distributed run
+	comm    CommStats
+}
+
+func newState(g *graph.Graph, seq uint64) *state {
+	a := g.Adjacency()
+	return &state{
+		g: g, a: a, at: sparse.Transpose(a),
+		version: graph.Fingerprint(g), seq: seq,
+	}
 }
 
 // Stats is a snapshot of cumulative engine counters.
 type Stats struct {
-	Applies          int64 `json:"applies"`
-	MutationsApplied int64 `json:"mutations_applied"`
-	IncrementalRuns  int64 `json:"incremental_runs"`
-	FullRecomputes   int64 `json:"full_recomputes"`
-	SampledEstimates int64 `json:"sampled_estimates"`
-	AffectedSources  int64 `json:"affected_sources"` // cumulative, exact applies only
-	LastAffected     int   `json:"last_affected"`
-	LogLen           int   `json:"log_len"`
+	Applies          int64     `json:"applies"`
+	MutationsApplied int64     `json:"mutations_applied"`
+	IncrementalRuns  int64     `json:"incremental_runs"`
+	FullRecomputes   int64     `json:"full_recomputes"`
+	SampledEstimates int64     `json:"sampled_estimates"`
+	AffectedSources  int64     `json:"affected_sources"` // cumulative, exact applies only
+	LastAffected     int       `json:"last_affected"`
+	LogLen           int       `json:"log_len"`
+	LogTruncations   int64     `json:"log_truncations"`
+	LogBaseVersion   uint64    `json:"log_base_version"`
+	Comm             CommStats `json:"comm"` // cumulative modeled communication (distributed mode)
+	LastPlan         string    `json:"last_plan,omitempty"`
 }
 
 // Report describes one applied batch.
@@ -113,6 +203,9 @@ type Report struct {
 	Sampled  bool          `json:"sampled"` // scores are estimates after this apply
 	N        int           `json:"n"`
 	M        int           `json:"m"`
+	Procs    int           `json:"procs,omitempty"` // simulated processors (distributed mode)
+	Plan     string        `json:"plan,omitempty"`  // representative plan of this apply's runs
+	Comm     CommStats     `json:"comm"`            // modeled communication of this apply
 	Wall     time.Duration `json:"-"`
 }
 
@@ -124,6 +217,8 @@ type Snapshot struct {
 	Version uint64
 	Seq     uint64
 	Sampled bool
+	Plan    string    // representative plan of the latest distributed run
+	Comm    CommStats // cumulative modeled communication through this snapshot
 }
 
 // Engine maintains BC scores over an evolving graph. All methods are safe
@@ -133,14 +228,26 @@ type Engine struct {
 	cfg Config
 
 	applyMu sync.Mutex // serializes Apply; held across the whole compute
-	mu      sync.RWMutex
-	cur     *state
-	log     graph.MutationLog
-	stats   Stats
+	// dist is the persistent distributed session (Procs > 1). Guarded by
+	// applyMu; nil after a failed run, lazily rebuilt from the committed
+	// snapshot. applyComm/applyPlan are per-apply scratch, also under
+	// applyMu.
+	dist      *core.DistSession
+	applyComm CommStats
+	applyPlan string
+
+	mu             sync.RWMutex
+	cur            *state
+	log            graph.MutationLog
+	logBase        *graph.Graph
+	logBaseVersion uint64
+	logTruncations int64
+	stats          Stats
 }
 
-// New creates an engine over g, computing the initial exact scores. The
-// engine clones g, so the caller's graph stays independent.
+// New creates an engine over g, computing the initial exact scores (on the
+// simulated distributed machine when cfg.Procs > 1). The engine clones g,
+// so the caller's graph stays independent.
 func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("dynamic: nil graph")
@@ -154,15 +261,56 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if cfg.RefreshEvery <= 0 {
 		cfg.RefreshEvery = defaultRefreshEvery
 	}
-	own := g.Clone()
-	r, err := core.MFBC(own, core.Options{Batch: cfg.Batch, Workers: cfg.Workers})
-	if err != nil {
-		return nil, err
+	if cfg.LogCompactAt == 0 {
+		cfg.LogCompactAt = defaultLogCompactAt
 	}
-	return &Engine{
-		cfg: cfg,
-		cur: &state{g: own, bc: r.BC, version: graph.Fingerprint(own)},
-	}, nil
+	own := g.Clone()
+	st := newState(own, 0)
+	e := &Engine{cfg: cfg}
+	if cfg.Procs > 1 {
+		sess, err := core.NewDistSession(own, e.distOpts())
+		if err != nil {
+			return nil, err
+		}
+		r, err := sess.Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		st.bc = r.BC
+		st.plan = r.Plan.String()
+		st.comm = commOf(r.Stats)
+		e.dist = sess
+	} else {
+		st.bc = e.fullExact(st)
+	}
+	e.cur = st
+	e.logBase = own
+	e.logBaseVersion = st.version
+	e.stats.Comm = st.comm
+	e.stats.LastPlan = st.plan
+	return e, nil
+}
+
+func (e *Engine) distOpts() core.DistOptions {
+	return core.DistOptions{
+		Procs: e.cfg.Procs, Workers: e.cfg.Workers, Batch: e.cfg.Batch,
+		Plan: e.cfg.Plan, Constraint: e.cfg.Constraint, Model: e.cfg.Model,
+	}
+}
+
+// batchSize resolves Config.Batch like core.Options does.
+func (e *Engine) batchSize(n int) int {
+	nb := e.cfg.Batch
+	if nb <= 0 {
+		nb = 128
+	}
+	if nb > n {
+		nb = n
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
 }
 
 // Snapshot returns the current consistent (graph, scores, version) view.
@@ -176,6 +324,8 @@ func (e *Engine) Snapshot() Snapshot {
 		Version: st.version,
 		Seq:     st.seq,
 		Sampled: st.sampled,
+		Plan:    st.plan,
+		Comm:    st.comm,
 	}
 }
 
@@ -185,23 +335,54 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.RUnlock()
 	st := e.stats
 	st.LogLen = e.log.Len()
+	st.LogTruncations = e.logTruncations
+	st.LogBaseVersion = e.logBaseVersion
 	return st
 }
 
-// Log returns a copy of the mutation log (possibly compacted).
+// Log returns a copy of the mutation log (possibly compacted or
+// truncated). Replaying it on LogBase reproduces the current topology.
 func (e *Engine) Log() []graph.Mutation {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.log.Mutations()
 }
 
+// LogBase returns the immutable graph snapshot the mutation log replays
+// from (the engine's initial graph until the first truncation) and its
+// version. Callers must not mutate the returned graph.
+func (e *Engine) LogBase() (*graph.Graph, uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.logBase, e.logBaseVersion
+}
+
 // CompactLog rewrites the mutation log to its replay-equivalent minimal
-// form immediately (the engine also does this automatically past an
-// internal bound).
+// form immediately (the engine also does this automatically past the
+// configured bound).
 func (e *Engine) CompactLog() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.log.Compact(e.cur.g.Directed)
+}
+
+// TruncateLog snapshots the current graph as the new replay base and
+// empties the mutation log, returning the new base version. Long-lived
+// servers use it (directly or via Config.LogTruncate) to bound the log
+// while keeping replayability from the recorded base.
+func (e *Engine) TruncateLog() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.truncateLogLocked(e.cur)
+	return e.logBaseVersion
+}
+
+// truncateLogLocked installs st as the replay base. Callers hold e.mu.
+func (e *Engine) truncateLogLocked(st *state) {
+	e.logBase = st.g
+	e.logBaseVersion = st.version
+	e.log = graph.MutationLog{}
+	e.logTruncations++
 }
 
 // Apply atomically applies one mutation batch and refreshes the maintained
@@ -221,27 +402,63 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 	if _, err := newG.ApplyAll(batch); err != nil {
 		return Report{}, fmt.Errorf("dynamic: %w", err)
 	}
-	seq := old.seq + 1
+	st := newState(newG, old.seq+1)
+	diffs := batchDiff(old.g, newG, batch)
+	e.applyComm = CommStats{}
+	e.applyPlan = ""
 
 	var (
-		bc       []float64
 		strategy Strategy
 		affected []int32
-		sampled  bool
-		err      error
 	)
-	full := func() error {
-		r, ferr := core.MFBC(newG, core.Options{Batch: e.cfg.Batch, Workers: e.cfg.Workers})
-		if ferr != nil {
-			return ferr
+	useDist := e.cfg.Procs > 1
+	// advance moves the resident distributed operands to the post-batch
+	// topology — delta-patching the blocks the diff touches, or, under
+	// DistRebuild / vertex growth, rebuilding. It must run exactly once
+	// per apply in distributed mode, after any old-topology runs and
+	// before any new-topology runs.
+	advance := func() error {
+		if !useDist {
+			return nil
 		}
-		bc, strategy = r.BC, StrategyFull
+		sess, err := e.session(old)
+		if err != nil {
+			return err
+		}
+		if e.cfg.DistRebuild {
+			sess.Reset(newG, st.a)
+		} else {
+			sess.Patch(newG, st.a, coreDiffs(diffs))
+		}
+		return nil
+	}
+	full := func() error {
+		if err := advance(); err != nil {
+			return err
+		}
+		if useDist {
+			bc, err := e.distRun(nil)
+			if err != nil {
+				return err
+			}
+			st.bc = bc
+		} else {
+			st.bc = e.fullExact(st)
+		}
+		strategy = StrategyFull
 		return nil
 	}
 	switch {
-	case e.cfg.SampleBudget > 0 && e.cfg.SampleBudget < newG.N && seq%uint64(e.cfg.RefreshEvery) != 0:
-		bc = e.sampledScores(newG, seq)
-		strategy, sampled = StrategySampled, true
+	case e.cfg.SampleBudget > 0 && e.cfg.SampleBudget < newG.N && st.seq%uint64(e.cfg.RefreshEvery) != 0:
+		if err := advance(); err != nil {
+			return Report{}, err
+		}
+		bc, err := e.sampledScores(st)
+		if err != nil {
+			return Report{}, err
+		}
+		st.bc = bc
+		strategy, st.sampled = StrategySampled, true
 	case old.sampled:
 		// Incremental deltas need an exact base; with only estimates to
 		// start from, affected-source detection would be wasted work.
@@ -249,10 +466,7 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 			return Report{}, err
 		}
 	default:
-		affected, err = affectedSources(old.g, newG, batch)
-		if err != nil {
-			return Report{}, err
-		}
+		affected = affectedSources(old, st, diffs, e.cfg.Workers)
 		frac := 0.0
 		if newG.N > 0 {
 			frac = float64(len(affected)) / float64(newG.N)
@@ -262,29 +476,40 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 				return Report{}, err
 			}
 		} else {
-			bc = e.incrementalScores(old, newG, affected)
+			bc, err := e.incrementalScores(old, st, affected, advance)
+			if err != nil {
+				return Report{}, err
+			}
+			st.bc = bc
 			strategy = StrategyIncremental
 		}
 	}
 
-	st := &state{
-		g:       newG,
-		bc:      bc,
-		version: graph.Fingerprint(newG),
-		seq:     seq,
-		sampled: sampled,
+	st.comm = old.comm
+	st.comm.add(e.applyComm)
+	st.plan = e.applyPlan
+	if st.plan == "" {
+		st.plan = old.plan // no run this apply (e.g. a structural no-op batch)
 	}
 	rep := Report{
-		Seq: seq, Version: st.version, Applied: len(batch),
-		Affected: len(affected), Strategy: strategy, Sampled: sampled,
-		N: newG.N, M: newG.M(), Wall: time.Since(start),
+		Seq: st.seq, Version: st.version, Applied: len(batch),
+		Affected: len(affected), Strategy: strategy, Sampled: st.sampled,
+		N: newG.N, M: newG.M(), Procs: e.cfg.Procs,
+		Plan: e.applyPlan, Comm: e.applyComm, Wall: time.Since(start),
+	}
+	if !useDist {
+		rep.Procs = 0
 	}
 
 	e.mu.Lock()
 	e.cur = st
 	e.log.Append(batch...)
-	if e.log.Len() > logCompactAt {
-		e.log.Compact(st.g.Directed)
+	if e.cfg.LogCompactAt > 0 && e.log.Len() > e.cfg.LogCompactAt {
+		if e.cfg.LogTruncate {
+			e.truncateLogLocked(st)
+		} else {
+			e.log.Compact(st.g.Directed)
+		}
 	}
 	e.stats.Applies++
 	e.stats.MutationsApplied += int64(len(batch))
@@ -300,20 +525,51 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 		e.stats.AffectedSources += int64(len(affected))
 		e.stats.LastAffected = len(affected)
 	}
+	e.stats.Comm.add(e.applyComm)
+	if e.applyPlan != "" {
+		e.stats.LastPlan = e.applyPlan
+	}
 	e.mu.Unlock()
 	return rep, nil
 }
 
+// session returns the live distributed session, rebuilding it on the given
+// snapshot's topology after a prior run failure dropped it.
+func (e *Engine) session(st *state) (*core.DistSession, error) {
+	if e.dist == nil {
+		sess, err := core.NewDistSession(st.g, e.distOpts())
+		if err != nil {
+			return nil, err
+		}
+		e.dist = sess
+	}
+	return e.dist, nil
+}
+
+// distRun executes one machine region over the session's resident
+// topology, folding its modeled cost into the apply's communication. On
+// error the session is dropped so the next apply rebuilds it from the
+// committed snapshot (the resident operands may be mid-transition).
+func (e *Engine) distRun(sources []int32) ([]float64, error) {
+	r, err := e.dist.Run(sources)
+	if err != nil {
+		e.dist = nil
+		return nil, fmt.Errorf("dynamic: distributed run: %w", err)
+	}
+	e.applyComm.add(commOf(r.Stats))
+	e.applyPlan = r.Plan.String()
+	return r.BC, nil
+}
+
 // incrementalScores merges the batch's delta into the maintained vector:
 // bc_new = bc_old − Σ_{s∈affected} δ_old(s,·) + Σ_{s∈affected} δ_new(s,·),
-// each side computed with the ordinary batched MFBC sweeps restricted to
-// the affected pivots.
-func (e *Engine) incrementalScores(old *state, newG *graph.Graph, affected []int32) []float64 {
-	bc := make([]float64, newG.N)
+// each side computed with batched MFBC sweeps restricted to the affected
+// pivots — on the simulated machine in distributed mode, where the old
+// side runs against the still-resident pre-batch operands, advance patches
+// in the diff, and the new side reuses the freshly patched blocks.
+func (e *Engine) incrementalScores(old, st *state, affected []int32, advance func() error) ([]float64, error) {
+	bc := make([]float64, st.g.N)
 	copy(bc, old.bc)
-	if len(affected) == 0 {
-		return bc
-	}
 
 	oldN := old.g.N
 	oldAff := affected
@@ -326,15 +582,46 @@ func (e *Engine) incrementalScores(old *state, newG *graph.Graph, affected []int
 			}
 		}
 	}
-	if len(oldAff) > 0 {
-		delta := e.pivotScores(old.g, oldAff)
-		for v := 0; v < oldN; v++ {
-			bc[v] -= delta[v]
+	if e.cfg.Procs > 1 {
+		if _, err := e.session(old); err != nil {
+			return nil, err
+		}
+		if len(oldAff) > 0 {
+			delta, err := e.distRun(oldAff)
+			if err != nil {
+				return nil, err
+			}
+			for v := 0; v < oldN; v++ {
+				bc[v] -= delta[v]
+			}
+		}
+		if err := advance(); err != nil {
+			return nil, err
+		}
+		if len(affected) > 0 {
+			delta, err := e.distRun(affected)
+			if err != nil {
+				return nil, err
+			}
+			for v := range bc {
+				bc[v] += delta[v]
+			}
+		}
+	} else {
+		if len(oldAff) > 0 {
+			delta := e.pivotScores(old, oldAff)
+			for v := 0; v < oldN; v++ {
+				bc[v] -= delta[v]
+			}
+		}
+		if len(affected) > 0 {
+			delta := e.pivotScores(st, affected)
+			for v := range bc {
+				bc[v] += delta[v]
+			}
 		}
 	}
-	delta := e.pivotScores(newG, affected)
 	for v := range bc {
-		bc[v] += delta[v]
 		// Subtracting recomputed old contributions from the running vector
 		// can leave −1e-12-scale residue at mathematically zero scores; large
 		// negatives would mean a bookkeeping bug and are left visible.
@@ -342,46 +629,73 @@ func (e *Engine) incrementalScores(old *state, newG *graph.Graph, affected []int
 			bc[v] = 0
 		}
 	}
+	return bc, nil
+}
+
+// fullExact recomputes exact scores with the snapshot's cached operands:
+// core.MFBC's batching without rebuilding A and Aᵀ.
+func (e *Engine) fullExact(st *state) []float64 {
+	n := st.g.N
+	bc := make([]float64, n)
+	nb := e.batchSize(n)
+	for lo := 0; lo < n; lo += nb {
+		hi := lo + nb
+		if hi > n {
+			hi = n
+		}
+		sources := make([]int32, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			sources = append(sources, int32(s))
+		}
+		core.MFBCBatchParallel(st.a, st.at, sources, bc, e.cfg.Workers)
+	}
 	return bc
 }
 
-// pivotScores runs batched MFBC sweeps for exactly the given sources and
-// returns their accumulated dependency contributions.
-func (e *Engine) pivotScores(g *graph.Graph, sources []int32) []float64 {
-	a := g.Adjacency()
-	at := sparse.Transpose(a)
-	bc := make([]float64, g.N)
-	nb := e.cfg.Batch
-	if nb <= 0 {
-		nb = 128
-	}
+// pivotScores runs batched MFBC sweeps for exactly the given sources over
+// the snapshot's cached operands and returns their accumulated dependency
+// contributions.
+func (e *Engine) pivotScores(st *state, sources []int32) []float64 {
+	bc := make([]float64, st.g.N)
+	nb := e.batchSize(len(sources))
 	for lo := 0; lo < len(sources); lo += nb {
 		hi := lo + nb
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		core.MFBCBatchParallel(a, at, sources[lo:hi], bc, e.cfg.Workers)
+		core.MFBCBatchParallel(st.a, st.at, sources[lo:hi], bc, e.cfg.Workers)
 	}
 	return bc
 }
 
 // sampledScores estimates BC from a seeded random subset of sources scaled
-// by n/samples, exactly like repro.ApproximateBC's estimator.
-func (e *Engine) sampledScores(g *graph.Graph, seq uint64) []float64 {
-	n := g.N
+// by n/samples, exactly like repro.ApproximateBC's estimator. In
+// distributed mode the sample sweep runs on the simulated machine (the
+// session must already hold the snapshot's topology).
+func (e *Engine) sampledScores(st *state) ([]float64, error) {
+	n := st.g.N
 	budget := e.cfg.SampleBudget
-	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(seq)*0x9e3779b9))
+	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(st.seq)*0x9e3779b9))
 	perm := rng.Perm(n)
 	sources := make([]int32, budget)
 	for i := range sources {
 		sources[i] = int32(perm[i])
 	}
-	bc := e.pivotScores(g, sources)
+	var bc []float64
+	if e.cfg.Procs > 1 {
+		var err error
+		bc, err = e.distRun(sources)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bc = e.pivotScores(st, sources)
+	}
 	scale := float64(n) / float64(budget)
 	for v := range bc {
 		bc[v] *= scale
 	}
-	return bc
+	return bc, nil
 }
 
 // edgeDiff is one edge of the effective difference between the pre- and
@@ -390,6 +704,16 @@ type edgeDiff struct {
 	u, v         int32
 	wOld, wNew   float64
 	inOld, inNew bool
+}
+
+// coreDiffs converts the effective diff into core's operand-patch form
+// (the post-batch side of each edge).
+func coreDiffs(diffs []edgeDiff) []core.EdgeDiff {
+	out := make([]core.EdgeDiff, len(diffs))
+	for i, d := range diffs {
+		out[i] = core.EdgeDiff{U: d.u, V: d.v, W: d.wNew, Present: d.inNew}
+	}
+	return out
 }
 
 // batchDiff reduces a mutation batch to the effective edge-level diff
@@ -423,31 +747,25 @@ func batchDiff(oldG, newG *graph.Graph, batch []graph.Mutation) []edgeDiff {
 	return diffs
 }
 
-// affectedSources returns, sorted ascending, every source vertex of newG
-// whose dependency contributions can differ between oldG and newG: those
-// with a mutated edge on some shortest path in either graph. The test is
-// epsilon-tolerant, so floating-point path sums can only widen the set.
-func affectedSources(oldG, newG *graph.Graph, batch []graph.Mutation) ([]int32, error) {
-	diffs := batchDiff(oldG, newG, batch)
+// affectedSources returns, sorted ascending, every source vertex of the
+// new snapshot whose dependency contributions can differ between the
+// snapshots: those with a mutated edge on some shortest path in either
+// graph. The test is epsilon-tolerant, so floating-point path sums can
+// only widen the set. Both probes run on the snapshots' cached transposes.
+func affectedSources(old, st *state, diffs []edgeDiff, workers int) []int32 {
 	if len(diffs) == 0 {
-		return nil, nil
+		return nil
 	}
 
 	// d(s, e) for every source s and mutated endpoint e, on each side:
 	// one multi-source SSSP from the endpoints on the reverse graph.
 	oldEnds := endpointSet(diffs, func(d edgeDiff) bool { return d.inOld })
 	newEnds := endpointSet(diffs, func(d edgeDiff) bool { return d.inNew })
-	distOld, err := distancesTo(oldG, oldEnds)
-	if err != nil {
-		return nil, err
-	}
-	distNew, err := distancesTo(newG, newEnds)
-	if err != nil {
-		return nil, err
-	}
+	distOld := distancesTo(old.at, old.g.N, oldEnds, workers)
+	distNew := distancesTo(st.at, st.g.N, newEnds, workers)
 
-	affected := make([]bool, newG.N)
-	undirected := !newG.Directed
+	affected := make([]bool, st.g.N)
+	undirected := !st.g.Directed
 	for _, d := range diffs {
 		if d.inOld {
 			markOnShortestPath(affected, distOld[d.u], distOld[d.v], d.wOld, undirected)
@@ -462,7 +780,7 @@ func affectedSources(oldG, newG *graph.Graph, batch []graph.Mutation) ([]int32, 
 			out = append(out, int32(s))
 		}
 	}
-	return out, nil
+	return out
 }
 
 func endpointSet(diffs []edgeDiff, want func(edgeDiff) bool) []int32 {
@@ -480,30 +798,29 @@ func endpointSet(diffs []edgeDiff, want func(edgeDiff) bool) []int32 {
 	return out
 }
 
-// distancesTo returns dist[e][s] = d(s → e) for every endpoint e, via SSSP
-// from the endpoints on the reverse graph (the graph itself when
-// undirected).
-func distancesTo(g *graph.Graph, endpoints []int32) (map[int32][]float64, error) {
+// distancesTo returns dist[e][s] = d(s → e) for every endpoint e: one
+// multi-source MFBF sweep from the endpoints over the snapshot's cached
+// transpose (the reverse graph's adjacency; for undirected graphs A is
+// symmetric so the transpose is the graph itself).
+func distancesTo(at *sparse.CSR[float64], n int, endpoints []int32, workers int) map[int32][]float64 {
 	out := make(map[int32][]float64, len(endpoints))
 	if len(endpoints) == 0 {
-		return out, nil
+		return out
 	}
-	rg := g
-	if g.Directed {
-		rg = &graph.Graph{Name: g.Name + "-rev", N: g.N, Directed: true, Weighted: g.Weighted}
-		rg.Edges = make([]graph.Edge, len(g.Edges))
-		for i, e := range g.Edges {
-			rg.Edges[i] = graph.Edge{U: e.V, V: e.U, W: e.W}
-		}
-	}
-	res, err := core.SSSP(rg, endpoints)
-	if err != nil {
-		return nil, fmt.Errorf("dynamic: endpoint SSSP: %w", err)
-	}
+	t, _, _ := core.MFBFParallel(at, endpoints, workers)
 	for i, e := range endpoints {
-		out[e] = res.Dist[i]
+		d := make([]float64, n)
+		for v := range d {
+			d[v] = math.Inf(1)
+		}
+		d[e] = 0 // MFBF suppresses the source diagonal
+		cols, vals := t.Row(i)
+		for k, v := range cols {
+			d[v] = vals[k].W
+		}
+		out[e] = d
 	}
-	return out, nil
+	return out
 }
 
 // markOnShortestPath marks every source s for which edge (u→v, w) lies on

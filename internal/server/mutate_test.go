@@ -65,7 +65,8 @@ func TestMutateBumpsVersionAndSeedsWarmScores(t *testing.T) {
 	}
 
 	st := s.Stats()
-	if st.Mutations != 1 || st.WarmSeeds != 1 {
+	if st.Mutations != 1 || st.WarmSeeds != 2 ||
+		st.WarmSeedsExact != 1 || st.WarmSeedsNormalized != 1 || st.WarmSeedsTopK != 2 {
 		t.Fatalf("stats = %+v", st)
 	}
 	computesBefore := st.Computes
@@ -80,11 +81,25 @@ func TestMutateBumpsVersionAndSeedsWarmScores(t *testing.T) {
 	if qr.Version != res.Version {
 		t.Fatalf("query version %016x, want %016x", qr.Version, res.Version)
 	}
+	// The normalized variant is a warm hit too (seeded as a cheap
+	// transform of the same maintained vector), as is a top-k request on
+	// either entry.
+	qn, err := s.Query(QueryRequest{Graph: "g", Normalize: true, K: 3, IncludeScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qn.Stats.CacheHit {
+		t.Fatal("post-mutation normalized query missed the warm-seeded cache")
+	}
+	if len(qn.TopK) != 3 {
+		t.Fatalf("normalized top-k = %+v", qn.TopK)
+	}
 	if got := s.Stats().Computes; got != computesBefore {
 		t.Fatalf("warm hit still computed: %d → %d", computesBefore, got)
 	}
 
-	// The warm scores are the real thing: compare against from-scratch.
+	// The warm scores are the real thing: compare against from-scratch,
+	// raw and normalized.
 	shadow := g.Clone()
 	if _, err := shadow.ApplyAll(muts); err != nil {
 		t.Fatal(err)
@@ -95,6 +110,101 @@ func TestMutateBumpsVersionAndSeedsWarmScores(t *testing.T) {
 	}
 	if !scoresAlmostEqual(qr.Scores, want.BC) {
 		t.Fatal("warm-seeded scores differ from a from-scratch compute")
+	}
+	wantNorm, err := repro.Compute(shadow, repro.Options{Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresAlmostEqual(qn.Scores, wantNorm.BC) {
+		t.Fatal("warm-seeded normalized scores differ from a from-scratch normalized compute")
+	}
+}
+
+// TestMutateDistributedMode: with DynProcs configured, PATCHes run their
+// re-computation on the simulated machine — the result reports modeled
+// communication and a plan, the maintained scores still match from-scratch
+// computes, and the procs-variant cache keys are warm-seeded alongside the
+// sequential ones.
+func TestMutateDistributedMode(t *testing.T) {
+	s := New(Config{Workers: 1, DynProcs: 2})
+	g := repro.GridGraph(5, 5, 3, 7)
+	if _, err := s.AddGraph("g", g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	muts := []repro.Mutation{
+		{Op: repro.MutSetWeight, U: g.Edges[10].U, V: g.Edges[10].V, W: 9},
+		{Op: repro.MutAddEdge, U: 0, V: 24, W: 2},
+	}
+	res, err := s.Mutate("g", muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 2 || res.Plan == "" {
+		t.Fatalf("distributed mutate reported procs=%d plan=%q", res.Procs, res.Plan)
+	}
+	if res.Comm.Bytes == 0 || res.Comm.ModelSec == 0 {
+		t.Fatalf("distributed mutate reported no modeled communication: %+v", res.Comm)
+	}
+
+	st := s.Stats()
+	if st.WarmSeeds != 4 || st.WarmSeedsDistributed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Both the sequential default key and the procs-variant are warm.
+	q1, err := s.Query(QueryRequest{Graph: "g", IncludeScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := s.Query(QueryRequest{Graph: "g", Procs: 2, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q1.Stats.CacheHit || !q2.Stats.CacheHit {
+		t.Fatalf("post-mutation hits: default=%v procs=%v", q1.Stats.CacheHit, q2.Stats.CacheHit)
+	}
+	if q2.Procs != 2 || q2.Plan == "" {
+		t.Fatalf("procs-variant entry lost its distributed metadata: %+v", q2)
+	}
+
+	shadow := g.Clone()
+	if _, err := shadow.ApplyAll(muts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.Compute(shadow, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresAlmostEqual(q1.Scores, want.BC) {
+		t.Fatal("distributed-mode maintained scores differ from from-scratch compute")
+	}
+	// The precomputed ranking must agree with a fresh selection.
+	wantTop := repro.TopK(want.BC, 4)
+	for i, vs := range q2.TopK {
+		if vs.Vertex != wantTop[i] {
+			t.Fatalf("seeded ranking diverged at %d: %+v vs %v", i, q2.TopK, wantTop)
+		}
+	}
+}
+
+// TestWarmSeedTinyCacheKeepsExactKey: with a cache bound smaller than the
+// variant count, the default exact entry must be the one that survives
+// (variants are seeded in ascending priority).
+func TestWarmSeedTinyCacheKeepsExactKey(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: 1, DynProcs: 2})
+	g := repro.GridGraph(4, 4, 1, 1)
+	if _, err := s.AddGraph("g", g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mutate("g", []repro.Mutation{{Op: repro.MutAddEdge, U: 0, V: 15, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	computes := s.Stats().Computes
+	q, err := s.Query(QueryRequest{Graph: "g", K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Stats.CacheHit || s.Stats().Computes != computes {
+		t.Fatalf("default exact query after mutation on cache=1 recomputed: hit=%v", q.Stats.CacheHit)
 	}
 }
 

@@ -54,15 +54,35 @@ type Config struct {
 	// full recomputation (0 = library default 0.25, negative = always
 	// incremental).
 	DirtyThreshold float64
+	// DynProcs > 1 runs each graph's dynamic engine in distributed mode:
+	// mutation batches re-run their affected pivots on the simulated
+	// machine with this many processors, keeping the stationary adjacency
+	// operands resident and delta-patched across PATCHes, and the PATCH
+	// response carries the modeled communication and plan.
+	DynProcs int
+	// LogCompactAt bounds each engine's mutation log (0 = library default
+	// 4096, negative = unmanaged); LogTruncate switches over-bound
+	// handling from compaction to snapshot+truncate, so long-lived servers
+	// keep bounded logs that still replay from the recorded base.
+	LogCompactAt int
+	LogTruncate  bool
 }
 
 const defaultCacheSize = 256
 
+// seedTopKLen is how many ranked vertices each warm-seeded cache entry
+// precomputes, so post-mutation top-k queries skip even the partial
+// selection.
+const seedTopKLen = 64
+
 // Server is the query service. All methods are safe for concurrent use.
 type Server struct {
-	workers   int
-	cacheSize int
-	dirty     float64
+	workers      int
+	cacheSize    int
+	dirty        float64
+	dynProcs     int
+	logCompactAt int
+	logTruncate  bool
 
 	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
 	// replaceable by tests to observe or stall computations.
@@ -92,6 +112,11 @@ type cacheEntry struct {
 	graph string        // registry name, for purge on eviction/replacement
 	res   *repro.Result // immutable once stored; BC is never written again
 	wall  time.Duration // wall time of the compute that produced it
+	// topk is an optional precomputed descending ranking (warm-seeded
+	// entries): requests with K ≤ len(topk) serve a prefix instead of
+	// re-selecting. Written once before the entry is published, never
+	// after.
+	topk []int
 }
 
 // flightCall is one in-flight computation; waiters block on done. entry and
@@ -113,7 +138,14 @@ type Stats struct {
 	Computes     int64 `json:"computes"`      // underlying engine runs started
 	Evictions    int64 `json:"evictions"`     // cache entries dropped (LRU or purge)
 	Mutations    int64 `json:"mutations"`     // mutation batches applied
-	WarmSeeds    int64 `json:"warm_seeds"`    // cache entries seeded from dynamic-engine scores
+	WarmSeeds    int64 `json:"warm_seeds"`    // cache entries seeded from dynamic-engine scores (all variants)
+	// Per-variant warm-seed counters: the default exact key, the
+	// normalized transform, the distributed-procs keys (DynProcs > 1), and
+	// the number of precomputed top-k rankings attached to seeded entries.
+	WarmSeedsExact       int64 `json:"warm_seeds_exact"`
+	WarmSeedsNormalized  int64 `json:"warm_seeds_normalized"`
+	WarmSeedsDistributed int64 `json:"warm_seeds_distributed"`
+	WarmSeedsTopK        int64 `json:"warm_seeds_topk"`
 }
 
 // New creates a Server.
@@ -129,6 +161,9 @@ func New(cfg Config) *Server {
 		workers:       cfg.Workers,
 		cacheSize:     size,
 		dirty:         cfg.DirtyThreshold,
+		dynProcs:      cfg.DynProcs,
+		logCompactAt:  cfg.LogCompactAt,
+		logTruncate:   cfg.LogTruncate,
 		computeExact:  repro.Compute,
 		computeApprox: repro.ApproximateBC,
 		graphs:        make(map[string]*graphEntry),
@@ -246,19 +281,24 @@ type MutateRequest struct {
 }
 
 // MutateResult reports one applied batch: version bump, strategy the
-// dynamic engine chose, and the resulting topology size.
+// dynamic engine chose, the resulting topology size, and — when the
+// engine runs in distributed mode — the modeled communication and
+// decomposition plan of the apply's simulated-machine runs.
 type MutateResult struct {
-	Graph           string  `json:"graph"`
-	OldVersion      uint64  `json:"old_version"`
-	Version         uint64  `json:"version"`
-	Seq             uint64  `json:"seq"`
-	Applied         int     `json:"applied"`
-	AffectedSources int     `json:"affected_sources"`
-	Strategy        string  `json:"strategy"`
-	Sampled         bool    `json:"sampled"`
-	N               int     `json:"n"`
-	M               int     `json:"m"`
-	ComputeMS       float64 `json:"compute_ms"`
+	Graph           string           `json:"graph"`
+	OldVersion      uint64           `json:"old_version"`
+	Version         uint64           `json:"version"`
+	Seq             uint64           `json:"seq"`
+	Applied         int              `json:"applied"`
+	AffectedSources int              `json:"affected_sources"`
+	Strategy        string           `json:"strategy"`
+	Sampled         bool             `json:"sampled"`
+	N               int              `json:"n"`
+	M               int              `json:"m"`
+	Procs           int              `json:"procs,omitempty"`
+	Plan            string           `json:"plan,omitempty"`
+	Comm            repro.CommReport `json:"comm"`
+	ComputeMS       float64          `json:"compute_ms"`
 }
 
 // mutLockFor returns the per-graph mutation serializer, creating it on
@@ -305,6 +345,8 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 		var err error
 		dyn, err = repro.NewDynamicBC(ge.g, repro.DynamicOptions{
 			Workers: s.workers, DirtyThreshold: s.dirty,
+			Procs:        s.dynProcs,
+			LogCompactAt: s.logCompactAt, LogTruncate: s.logTruncate,
 		})
 		if err != nil {
 			return nil, err
@@ -324,6 +366,13 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 	}
 	snap := dyn.Scores()
 	ne := &graphEntry{g: snap.Graph, version: snap.Version, loadedAt: ge.loadedAt, dyn: dyn}
+	// The O(n) warm-seed transforms (partial top-k selection, normalized
+	// copy) run before taking s.mu so concurrent queries never stall on
+	// them; cacheSize is immutable after New.
+	var seed *warmSeed
+	if !snap.Sampled && s.cacheSize > 0 {
+		seed = prepareWarmSeed(snap.BC)
+	}
 
 	s.mu.Lock()
 	if s.graphs[name] != ge {
@@ -336,27 +385,83 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 	s.purgeLocked(name) // delta-aware: only this graph's entries drop
 	s.graphs[name] = ne
 	s.stats.Mutations++
-	if !snap.Sampled && s.cacheSize > 0 {
-		seed := QueryRequest{Graph: name}
-		seed.normalize()
-		key := cacheKey(name, snap.Version, seed)
-		if _, dup := s.cache[key]; !dup {
-			s.putCacheLocked(&cacheEntry{
-				key:   key,
-				graph: name,
-				res:   &repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: 1},
-				wall:  time.Duration(rep.WallMS * float64(time.Millisecond)),
-			})
-			s.stats.WarmSeeds++
-		}
+	if seed != nil {
+		s.seedWarmLocked(name, snap, rep, seed)
 	}
 	s.mu.Unlock()
 
 	return &MutateResult{
 		Graph: name, OldVersion: oldVersion, Version: rep.Version, Seq: rep.Seq,
 		Applied: rep.Applied, AffectedSources: rep.Affected, Strategy: rep.Strategy,
-		Sampled: rep.Sampled, N: rep.N, M: rep.M, ComputeMS: rep.WallMS,
+		Sampled: rep.Sampled, N: rep.N, M: rep.M,
+		Procs: rep.Procs, Plan: rep.Plan, Comm: rep.Comm,
+		ComputeMS: rep.WallMS,
 	}, nil
+}
+
+// warmSeed carries the precomputed cheap transforms of the maintained
+// vector, built outside the server lock.
+type warmSeed struct {
+	topk []int     // descending ranking prefix; scale-invariant, shared by all variants
+	norm []float64 // scores scaled by 1/((n−1)(n−2))
+}
+
+func prepareWarmSeed(bc []float64) *warmSeed {
+	ws := &warmSeed{topk: repro.TopK(bc, seedTopKLen)}
+	if n := len(bc); n > 2 {
+		scale := 1 / (float64(n-1) * float64(n-2))
+		ws.norm = make([]float64, n)
+		for v, x := range bc {
+			ws.norm[v] = x * scale
+		}
+	} else {
+		ws.norm = bc // Compute skips normalization below n=3
+	}
+	return ws
+}
+
+// seedWarmLocked seeds the engine's maintained exact vector into the cache
+// under every cheap-transform variant of the default query, so the queries
+// that typically follow a mutation are warm hits instead of recomputes:
+//
+//   - the default exact key (the raw maintained vector);
+//   - the normalized key (the same vector scaled by 1/((n−1)(n−2)));
+//   - with DynProcs > 1, the procs-variant of both — the engine's scores
+//     were produced at that processor count, so a query asking for the
+//     same distributed configuration is answered by them directly;
+//   - a precomputed top-seedTopKLen ranking attached to each entry (top-k
+//     is presentation-only in the cache key, so k-requests already land on
+//     these entries; the attached ranking removes the remaining selection
+//     work).
+//
+// Variants are inserted in ascending priority so that on a cache bound
+// smaller than the variant count the LRU evicts the optional siblings,
+// never the default exact entry (inserted last, most recently used).
+// Callers hold s.mu.
+func (s *Server) seedWarmLocked(name string, snap repro.DynamicSnapshot, rep repro.ApplyReport, ws *warmSeed) {
+	wall := time.Duration(rep.WallMS * float64(time.Millisecond))
+	put := func(req QueryRequest, res *repro.Result, variant *int64) {
+		req.Graph = name
+		req.normalize()
+		key := cacheKey(name, snap.Version, req)
+		if _, dup := s.cache[key]; dup {
+			return
+		}
+		s.putCacheLocked(&cacheEntry{key: key, graph: name, res: res, wall: wall, topk: ws.topk})
+		s.stats.WarmSeeds++
+		s.stats.WarmSeedsTopK++
+		*variant++
+	}
+	if s.dynProcs > 1 {
+		put(QueryRequest{Procs: s.dynProcs, Normalize: true},
+			&repro.Result{BC: ws.norm, Engine: repro.EngineMFBC, Procs: s.dynProcs, Plan: snap.Plan, Comm: rep.Comm},
+			&s.stats.WarmSeedsDistributed)
+		put(QueryRequest{Procs: s.dynProcs},
+			&repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: s.dynProcs, Plan: snap.Plan, Comm: rep.Comm},
+			&s.stats.WarmSeedsDistributed)
+	}
+	put(QueryRequest{Normalize: true}, &repro.Result{BC: ws.norm, Engine: repro.EngineMFBC, Procs: 1}, &s.stats.WarmSeedsNormalized)
+	put(QueryRequest{}, &repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: 1}, &s.stats.WarmSeedsExact)
 }
 
 // GraphInfoFor returns the registered graph's description.
@@ -576,7 +681,15 @@ func render(req QueryRequest, version uint64, ce *cacheEntry, hit, coalesced boo
 		},
 	}
 	if req.K > 0 {
-		idx := repro.TopK(ce.res.BC, req.K)
+		// Warm-seeded entries carry a precomputed descending ranking whose
+		// prefixes agree with TopK for every k (the selection order is
+		// total: score desc, index asc).
+		var idx []int
+		if len(ce.topk) >= req.K {
+			idx = ce.topk[:req.K]
+		} else {
+			idx = repro.TopK(ce.res.BC, req.K)
+		}
 		out.TopK = make([]VertexScore, len(idx))
 		for i, v := range idx {
 			out.TopK[i] = VertexScore{Vertex: v, Score: ce.res.BC[v]}

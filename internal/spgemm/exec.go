@@ -30,7 +30,34 @@ type Session struct {
 	// knob.
 	Workers int
 	grids   map[[3]int]*machine.Grid3
-	cache   map[string]any
+	cache   *OperandCache
+}
+
+// OperandCache holds one rank's stationary-operand working sets. It is
+// rank-local state that can outlive the Session (and the simulated-machine
+// run) that filled it: core's persistent distributed sessions hand the same
+// cache to a fresh Session on every region, so a stationary matrix staged
+// in one run is a warm hit — no redistribution, no fiber replication — in
+// the next. That extends the Theorem 5.1 once-per-run amortization across
+// the applies of an evolving-graph workload.
+type OperandCache struct {
+	sets map[string]*cachedOperand
+}
+
+// cachedOperand is one staged working set: the entries this rank holds
+// after redistribution (and, for RoleB fiber plans, replication) of matrix
+// matID under plan, plus the metadata PatchStationary needs to keep the
+// set current when the matrix is edited in place.
+type cachedOperand struct {
+	matID   uint64
+	plan    Plan
+	k, n    int // B's dimensions
+	entries any
+}
+
+// NewOperandCache returns an empty stationary-operand cache.
+func NewOperandCache() *OperandCache {
+	return &OperandCache{sets: make(map[string]*cachedOperand)}
 }
 
 // workers resolves the Workers knob for this rank; see the field comment.
@@ -45,9 +72,21 @@ func (s *Session) workers() int {
 	return w
 }
 
-// NewSession creates a session for this processor.
+// NewSession creates a session for this processor with a fresh operand
+// cache.
 func NewSession(p *machine.Proc) *Session {
-	return &Session{Proc: p, grids: make(map[[3]int]*machine.Grid3), cache: make(map[string]any)}
+	return NewSessionWithCache(p, NewOperandCache())
+}
+
+// NewSessionWithCache creates a session that adopts a previously filled
+// operand cache. Grids are always rebuilt (they embed the run's
+// communicators), but working sets staged by an earlier session over the
+// same matrices are reused without re-staging.
+func NewSessionWithCache(p *machine.Proc, c *OperandCache) *Session {
+	if c == nil {
+		c = NewOperandCache()
+	}
+	return &Session{Proc: p, grids: make(map[[3]int]*machine.Grid3), cache: c}
 }
 
 // Grid returns (building on first use) the p1×p2×p3 grid over the world.
@@ -238,9 +277,9 @@ func Multiply[TA, TB, TC any](
 	hitB := false
 	cacheKey := fmt.Sprintf("B:%d:%s:%dx%d", b.ID(), plan, k, n)
 	if cacheB {
-		var v any
-		if v, hitB = s.cache[cacheKey]; hitB {
-			bE = v.([]sparse.Entry[TB])
+		var co *cachedOperand
+		if co, hitB = s.cache.sets[cacheKey]; hitB {
+			bE = co.entries.([]sparse.Entry[TB])
 		}
 	}
 	// A rank owning no B entries legitimately caches a nil slice, so a
@@ -255,7 +294,7 @@ func Multiply[TA, TB, TC any](
 			distmat.SortEntriesParallel(bE, workers)
 		}
 		if cacheB {
-			s.cache[cacheKey] = bE
+			s.cache.sets[cacheKey] = &cachedOperand{matID: b.ID(), plan: plan, k: k, n: n, entries: bE}
 		}
 	}
 
@@ -284,6 +323,73 @@ func Multiply[TA, TB, TC any](
 		}
 	}
 	return &distmat.Mat[TC]{Rows: m, Cols: n, Dist: dc, Local: c}
+}
+
+// StationaryEdit is one coordinate edit of a stationary operand: an upsert
+// of value V at (I, J), or — when Del is set — a deletion.
+type StationaryEdit[T any] struct {
+	I, J int32
+	V    T
+	Del  bool
+}
+
+// PatchStationary merges globally known coordinate edits (sorted by row,
+// then column, duplicate-free) into every cached working set of matrix id,
+// in place of invalidating and re-staging. For each set it recomputes,
+// from the cached plan, exactly which edits a full staging would have
+// landed on this rank — the plan's B distribution, widened to the whole
+// fiber group for RoleB-replicated plans — and splices them into the
+// resident sorted block. The patched set is entry-for-entry identical to
+// what Redistribute (+ fiber Allgather) of the edited matrix would
+// produce, but moves no simulated bytes: only the blocks a diff touches
+// change, so the stationary placement cost stays amortized across an
+// evolving-graph mutation stream.
+//
+// The merge rewrites the rank's local block (host-side O(local nnz), no
+// modeled communication), mirroring the generator-replication convention
+// FromGlobal uses for inputs.
+func PatchStationary[T any](c *OperandCache, rank int, id uint64, edits []StationaryEdit[T]) {
+	if c == nil || len(edits) == 0 {
+		return
+	}
+	for _, co := range c.sets {
+		if co.matID != id {
+			continue
+		}
+		// B's distribution is independent of the frontier row count m for
+		// every plan (only the k and n coordinates of a B entry are
+		// consulted), matching the cache key's omission of m; any m works.
+		_, db, _ := Dists(co.plan, 1, co.k, co.n)
+		inner := co.plan.P2 * co.plan.P3
+		fiberRepl := co.plan.P1 > 1 && co.plan.X == RoleB
+		cur := co.entries.([]sparse.Entry[T])
+		out := make([]sparse.Entry[T], 0, len(cur)+len(edits))
+		x := 0
+		for _, ed := range edits {
+			owner := db.Owner(ed.I, ed.J)
+			if fiberRepl {
+				// After replication this rank holds the union of its fiber
+				// group: every layer at the same inner grid position.
+				if owner%inner != rank%inner {
+					continue
+				}
+			} else if owner != rank {
+				continue
+			}
+			for x < len(cur) && (cur[x].I < ed.I || (cur[x].I == ed.I && cur[x].J < ed.J)) {
+				out = append(out, cur[x])
+				x++
+			}
+			if x < len(cur) && cur[x].I == ed.I && cur[x].J == ed.J {
+				x++ // replaced by the upsert, or deleted
+			}
+			if !ed.Del {
+				out = append(out, sparse.Entry[T]{I: ed.I, J: ed.J, V: ed.V})
+			}
+		}
+		out = append(out, cur[x:]...)
+		co.entries = out
+	}
 }
 
 // stageBounds returns the absolute [lo, hi) bounds of stage t over the

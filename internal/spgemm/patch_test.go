@@ -1,0 +1,146 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// stageForTest reproduces what Multiply's staging path leaves on a rank for
+// a stationary B operand: the entries the plan's B distribution assigns to
+// it, widened to its whole fiber group under RoleB replication, sorted.
+func stageForTest(plan Plan, rank, k, n int, global []sparse.Entry[float64]) []sparse.Entry[float64] {
+	_, db, _ := Dists(plan, 1, k, n)
+	inner := plan.P2 * plan.P3
+	fiberRepl := plan.P1 > 1 && plan.X == RoleB
+	var out []sparse.Entry[float64]
+	for _, e := range global {
+		owner := db.Owner(e.I, e.J)
+		if fiberRepl {
+			if owner%inner != rank%inner {
+				continue
+			}
+		} else if owner != rank {
+			continue
+		}
+		out = append(out, e)
+	}
+	sortEntriesByCoord(out)
+	return out
+}
+
+func sortEntriesByCoord(e []sparse.Entry[float64]) {
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && (e[j].I < e[j-1].I || (e[j].I == e[j-1].I && e[j].J < e[j-1].J)); j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
+}
+
+// TestPatchStationaryMatchesRestage: for every decomposition family, the
+// delta-patched working set must equal a from-scratch staging of the
+// edited matrix on every rank.
+func TestPatchStationaryMatchesRestage(t *testing.T) {
+	plans := []Plan{
+		{P1: 1, P2: 1, P3: 4, X: RoleA, YZ: VarAB}, // 1D
+		{P1: 1, P2: 2, P3: 2, X: RoleA, YZ: VarAB}, // 2D
+		{P1: 1, P2: 2, P3: 2, X: RoleA, YZ: VarBC},
+		{P1: 2, P2: 2, P3: 1, X: RoleA, YZ: VarAB}, // 3D, A replicated
+		{P1: 2, P2: 1, P3: 2, X: RoleB, YZ: VarAC}, // 3D, B fiber-replicated
+		{P1: 2, P2: 2, P3: 1, X: RoleB, YZ: VarAB},
+		{P1: 4, P2: 1, P3: 1, X: RoleB, YZ: VarAB},
+		{P1: 2, P2: 2, P3: 1, X: RoleC, YZ: VarBC}, // 3D, k split
+	}
+	const k, n = 17, 23
+	rng := rand.New(rand.NewSource(9))
+	var global []sparse.Entry[float64]
+	seen := map[[2]int32]bool{}
+	for len(global) < 60 {
+		i, j := int32(rng.Intn(k)), int32(rng.Intn(n))
+		if seen[[2]int32{i, j}] {
+			continue
+		}
+		seen[[2]int32{i, j}] = true
+		global = append(global, sparse.Entry[float64]{I: i, J: j, V: 1 + rng.Float64()})
+	}
+	sortEntriesByCoord(global)
+
+	// Edits: delete a third of the existing entries, reweight another
+	// third, insert fresh coordinates.
+	var edits []StationaryEdit[float64]
+	edited := map[[2]int32]*float64{}
+	for _, e := range global {
+		w := e.V
+		edited[[2]int32{e.I, e.J}] = &w
+	}
+	for idx, e := range global {
+		switch idx % 3 {
+		case 0:
+			edits = append(edits, StationaryEdit[float64]{I: e.I, J: e.J, Del: true})
+			delete(edited, [2]int32{e.I, e.J})
+		case 1:
+			edits = append(edits, StationaryEdit[float64]{I: e.I, J: e.J, V: e.V + 10})
+			*edited[[2]int32{e.I, e.J}] = e.V + 10
+		}
+	}
+	for len(edited) < len(global)+8 {
+		i, j := int32(rng.Intn(k)), int32(rng.Intn(n))
+		if seen[[2]int32{i, j}] {
+			continue
+		}
+		seen[[2]int32{i, j}] = true
+		w := 50 + rng.Float64()
+		edits = append(edits, StationaryEdit[float64]{I: i, J: j, V: w})
+		edited[[2]int32{i, j}] = &w
+	}
+	sortEdits := func(es []StationaryEdit[float64]) {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && (es[j].I < es[j-1].I || (es[j].I == es[j-1].I && es[j].J < es[j-1].J)); j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+	}
+	sortEdits(edits)
+	var newGlobal []sparse.Entry[float64]
+	for key, w := range edited {
+		newGlobal = append(newGlobal, sparse.Entry[float64]{I: key[0], J: key[1], V: *w})
+	}
+	sortEntriesByCoord(newGlobal)
+
+	const matID = 7
+	for _, plan := range plans {
+		for rank := 0; rank < plan.Procs(); rank++ {
+			c := NewOperandCache()
+			c.sets["b"] = &cachedOperand{
+				matID: matID, plan: plan, k: k, n: n,
+				entries: stageForTest(plan, rank, k, n, global),
+			}
+			PatchStationary(c, rank, matID, edits)
+			got := c.sets["b"].entries.([]sparse.Entry[float64])
+			want := stageForTest(plan, rank, k, n, newGlobal)
+			if len(got) != len(want) {
+				t.Fatalf("%s rank %d: %d entries after patch, restage has %d", plan, rank, len(got), len(want))
+			}
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("%s rank %d entry %d: patched %+v, restaged %+v", plan, rank, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestPatchStationaryIgnoresOtherMatrices: edits keyed to one matrix id
+// must leave working sets of other matrices untouched.
+func TestPatchStationaryIgnoresOtherMatrices(t *testing.T) {
+	plan := Plan{P1: 1, P2: 1, P3: 2, X: RoleA, YZ: VarAB}
+	before := []sparse.Entry[float64]{{I: 0, J: 0, V: 1}, {I: 1, J: 1, V: 2}}
+	c := NewOperandCache()
+	c.sets["other"] = &cachedOperand{matID: 3, plan: plan, k: 4, n: 4, entries: append([]sparse.Entry[float64](nil), before...)}
+	PatchStationary(c, 0, 99, []StationaryEdit[float64]{{I: 0, J: 0, Del: true}})
+	got := c.sets["other"].entries.([]sparse.Entry[float64])
+	if len(got) != len(before) || got[0] != before[0] || got[1] != before[1] {
+		t.Fatalf("patch for matrix 99 modified matrix 3's set: %+v", got)
+	}
+}
