@@ -27,6 +27,7 @@ func main() {
 	batch := flag.Int("batch", 32, "sources per timed batch")
 	seed := flag.Int64("seed", 42, "generator seed")
 	quick := flag.Bool("quick", false, "shrink workloads (smoke test)")
+	samples := flag.String("samples", "", "comma-separated sample budgets for the streaming-dist sampled-mode axis (empty = skip the sweep)")
 	jsonPath := flag.String("json", "", "write all bench points as a JSON array to this path (BENCH_*.json)")
 	flag.Parse()
 
@@ -41,27 +42,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	var plist []int
-	for _, tok := range strings.Split(*procs, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
+	parseInts := func(flagName, s string) []int {
+		var out []int
+		for _, tok := range strings.Split(s, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.Atoi(tok)
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "mfbc-bench: bad %s %q\n", flagName, tok)
+				os.Exit(2)
+			}
+			out = append(out, v)
 		}
-		v, err := strconv.Atoi(tok)
-		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "mfbc-bench: bad proc count %q\n", tok)
-			os.Exit(2)
-		}
-		plist = append(plist, v)
+		return out
 	}
 	cfg := bench.Config{
 		Out:     os.Stdout,
-		Procs:   plist,
+		Procs:   parseInts("proc count", *procs),
 		Workers: *workers,
 		Scale:   *scale,
 		Batch:   *batch,
 		Seed:    *seed,
 		Quick:   *quick,
+		Samples: parseInts("sample budget", *samples),
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

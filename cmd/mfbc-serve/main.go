@@ -42,12 +42,20 @@ func main() {
 	cache := flag.Int("cache", 256, "max cached results (negative disables caching)")
 	preload := flag.String("preload", "", "comma-separated name=path edge-list files to register at startup")
 	dirty := flag.Float64("dirty", 0, "mutation dirtiness threshold: affected-source fraction above which a PATCH recomputes fully (0 = default 0.25, negative = always incremental)")
-	dynProcs := flag.Int("dyn-procs", 0, "run mutation re-computation on the simulated distributed machine with this many processors (≤1 = shared-memory path); PATCH responses then report modeled communication and the plan chosen")
+	dynProcs := flag.Int("dyn-procs", 0, "run mutation re-computation on the simulated distributed machine with this many processors (≤1 = shared-memory path); PATCH responses then report modeled communication, per-phase stats, and the plan chosen")
+	dynCacheSets := flag.Int("dyn-cache-sets", 0, "bound each simulated rank's stationary-operand cache to this many working sets per matrix (LRU across plans; 0 = unbounded); evictions appear in /stats")
+	dynSamples := flag.Int("dyn-samples", 0, "run each graph's dynamic engine in sampled mode with this source budget: PATCHes estimate instead of computing exactly and report a Hoeffding err_bound (0 = exact)")
+	dynRefresh := flag.Int("dyn-refresh", 0, "exact-refresh cadence of sampled mode: every Nth PATCH recomputes exactly (0 = library default 8)")
 	logCompact := flag.Int("log-compact", 0, "mutation-log bound per graph before automatic compaction/truncation (0 = default 4096, negative = unmanaged)")
 	logTruncate := flag.Bool("log-truncate", false, "past the log bound, snapshot the graph as the new replay base and truncate the log instead of compacting it")
 	flag.Parse()
 
-	s, err := buildServer(*workers, *cache, *dirty, *dynProcs, *logCompact, *logTruncate, *preload)
+	s, err := buildServer(serveConfig{
+		workers: *workers, cache: *cache, dirty: *dirty,
+		dynProcs: *dynProcs, dynCacheSets: *dynCacheSets,
+		dynSamples: *dynSamples, dynRefresh: *dynRefresh,
+		logCompact: *logCompact, logTruncate: *logTruncate,
+	}, *preload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
 		os.Exit(1)
@@ -60,12 +68,24 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, server.NewMux(s)))
 }
 
+// serveConfig carries the flag values into buildServer.
+type serveConfig struct {
+	workers, cache         int
+	dirty                  float64
+	dynProcs, dynCacheSets int
+	dynSamples, dynRefresh int
+	logCompact             int
+	logTruncate            bool
+}
+
 // buildServer wires flags into a ready service; split from main so the
 // end-to-end test drives the exact production configuration.
-func buildServer(workers, cache int, dirty float64, dynProcs, logCompact int, logTruncate bool, preload string) (*server.Server, error) {
+func buildServer(cfg serveConfig, preload string) (*server.Server, error) {
 	s := server.New(server.Config{
-		Workers: workers, CacheSize: cache, DirtyThreshold: dirty,
-		DynProcs: dynProcs, LogCompactAt: logCompact, LogTruncate: logTruncate,
+		Workers: cfg.workers, CacheSize: cfg.cache, DirtyThreshold: cfg.dirty,
+		DynProcs: cfg.dynProcs, DynCacheSets: cfg.dynCacheSets,
+		DynSampleBudget: cfg.dynSamples, DynRefreshEvery: cfg.dynRefresh,
+		LogCompactAt: cfg.logCompact, LogTruncate: cfg.logTruncate,
 	})
 	for _, pair := range strings.Split(preload, ",") {
 		pair = strings.TrimSpace(pair)

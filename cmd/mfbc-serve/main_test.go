@@ -25,7 +25,7 @@ func TestEndToEndSession(t *testing.T) {
 	}
 	// -dyn-procs 2: mutation batches run on the simulated 2-processor
 	// machine, so the PATCH response must carry modeled communication.
-	s, err := buildServer(1, 64, 0, 2, 0, false, "social="+path)
+	s, err := buildServer(serveConfig{workers: 1, cache: 64, dynProcs: 2}, "social="+path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +165,13 @@ func TestEndToEndSession(t *testing.T) {
 }
 
 func TestBuildServerPreloadErrors(t *testing.T) {
-	if _, err := buildServer(1, 0, 0, 0, 0, false, "badentry"); err == nil {
+	if _, err := buildServer(serveConfig{workers: 1}, "badentry"); err == nil {
 		t.Fatal("malformed -preload entry must fail")
 	}
-	if _, err := buildServer(1, 0, 0, 0, 0, false, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if _, err := buildServer(serveConfig{workers: 1}, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing preload file must fail")
 	}
-	s, err := buildServer(1, 0, 0, 0, 0, false, " ")
+	s, err := buildServer(serveConfig{workers: 1}, " ")
 	if err != nil || len(s.Graphs()) != 0 {
 		t.Fatalf("blank preload must yield an empty registry: %v", err)
 	}

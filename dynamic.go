@@ -63,8 +63,21 @@ type DynamicOptions struct {
 	Model      *machine.CostModel
 	// DistRebuild disables operand delta-patching (full redistribution per
 	// apply): the differential-test/ablation baseline. Scores are
-	// identical; only the modeled communication grows.
+	// identical; only the modeled communication grows. It also keeps
+	// incremental applies on the two-region path.
 	DistRebuild bool
+	// NoFuse keeps incremental distributed applies on the legacy
+	// two-region path (old-side region, host patch, new-side region)
+	// instead of the fused single-region form — the ablation baseline that
+	// makes the latency win of fusion measurable. Scores are identical
+	// under a forced Plan (bit-identical; pinned by the differential
+	// tests) and within tolerance under automatic planning.
+	NoFuse bool
+	// CacheSets bounds each simulated rank's stationary-operand cache to
+	// this many working sets per matrix with LRU eviction across
+	// (plan, dims) keys; ≤ 0 keeps it unbounded. DynamicStats reports the
+	// cumulative evictions as OperandEvictions.
+	CacheSets int
 
 	// LogCompactAt bounds the mutation log (0 = default 4096, negative =
 	// unmanaged); LogTruncate switches over-bound handling from compaction
@@ -76,23 +89,32 @@ type DynamicOptions struct {
 // CommStats re-exports the engine's modeled-communication aggregate.
 type CommStats = dynamic.CommStats
 
+// PhaseComm re-exports one named region phase's share of an apply's
+// modeled cost (diff / patch / sweep / reduce for a fused apply).
+type PhaseComm = dynamic.PhaseComm
+
 // ApplyReport describes one applied mutation batch: the strategy chosen
 // (incremental / full / sampled), how many pivots were re-run, the new
-// graph version, and — in distributed mode — the modeled communication and
-// decomposition plan of this apply's machine runs.
+// graph version, and — in distributed mode — the modeled communication,
+// per-phase attribution, and decomposition plan of this apply's machine
+// runs. Fused marks incremental applies that executed as one machine
+// region (both sides of the update riding the same supersteps).
 type ApplyReport struct {
-	Seq      uint64     `json:"seq"`
-	Version  uint64     `json:"version"`
-	Applied  int        `json:"applied"`
-	Affected int        `json:"affected_sources"`
-	Strategy string     `json:"strategy"`
-	Sampled  bool       `json:"sampled"`
-	N        int        `json:"n"`
-	M        int        `json:"m"`
-	Procs    int        `json:"procs,omitempty"`
-	Plan     string     `json:"plan,omitempty"`
-	Comm     CommReport `json:"comm"`
-	WallMS   float64    `json:"wall_ms"`
+	Seq      uint64      `json:"seq"`
+	Version  uint64      `json:"version"`
+	Applied  int         `json:"applied"`
+	Affected int         `json:"affected_sources"`
+	Strategy string      `json:"strategy"`
+	Sampled  bool        `json:"sampled"`
+	ErrBound float64     `json:"err_bound,omitempty"`
+	N        int         `json:"n"`
+	M        int         `json:"m"`
+	Procs    int         `json:"procs,omitempty"`
+	Plan     string      `json:"plan,omitempty"`
+	Fused    bool        `json:"fused,omitempty"`
+	Comm     CommReport  `json:"comm"`
+	Phases   []PhaseComm `json:"phases,omitempty"`
+	WallMS   float64     `json:"wall_ms"`
 }
 
 // DynamicSnapshot is a consistent view of the maintained state. Graph is
@@ -104,13 +126,18 @@ type DynamicSnapshot struct {
 	Version uint64
 	Seq     uint64
 	// Sampled reports that BC holds sampled estimates (between exact
-	// refreshes in sampled mode) rather than exact scores.
-	Sampled bool
+	// refreshes in sampled mode) rather than exact scores; ErrBound is
+	// then the Hoeffding-style 95% half-width of those estimates (0 when
+	// exact) — force an exact refresh when it exceeds your tolerance.
+	Sampled  bool
+	ErrBound float64
 	// Plan is the representative decomposition of the latest distributed
 	// run; Comm accumulates the modeled communication of every machine run
-	// up to this snapshot. Both are zero-valued on shared-memory engines.
-	Plan string
-	Comm CommReport
+	// up to this snapshot; Phases is the per-phase breakdown of the latest
+	// apply. All are zero-valued on shared-memory engines.
+	Plan   string
+	Comm   CommReport
+	Phases []PhaseComm
 }
 
 // DynamicStats re-exports the engine's cumulative counters.
@@ -138,6 +165,8 @@ func NewDynamicBC(g *Graph, opt DynamicOptions) (*DynamicBC, error) {
 		Constraint:     opt.Constraint,
 		Model:          opt.Model,
 		DistRebuild:    opt.DistRebuild,
+		NoFuse:         opt.NoFuse,
+		CacheSets:      opt.CacheSets,
 		LogCompactAt:   opt.LogCompactAt,
 		LogTruncate:    opt.LogTruncate,
 	})
@@ -167,8 +196,9 @@ func (d *DynamicBC) Apply(batch []Mutation) (ApplyReport, error) {
 	return ApplyReport{
 		Seq: rep.Seq, Version: rep.Version, Applied: rep.Applied,
 		Affected: rep.Affected, Strategy: string(rep.Strategy), Sampled: rep.Sampled,
-		N: rep.N, M: rep.M, Procs: rep.Procs, Plan: rep.Plan,
-		Comm:   dynCommReport(rep.Comm),
+		ErrBound: rep.ErrBound, N: rep.N, M: rep.M, Procs: rep.Procs,
+		Plan: rep.Plan, Fused: rep.Fused,
+		Comm: dynCommReport(rep.Comm), Phases: rep.Phases,
 		WallMS: float64(rep.Wall) / float64(time.Millisecond),
 	}, nil
 }
@@ -178,7 +208,7 @@ func (d *DynamicBC) Scores() DynamicSnapshot {
 	s := d.eng.Snapshot()
 	return DynamicSnapshot{
 		Graph: s.Graph, BC: s.BC, Version: s.Version, Seq: s.Seq, Sampled: s.Sampled,
-		Plan: s.Plan, Comm: dynCommReport(s.Comm),
+		ErrBound: s.ErrBound, Plan: s.Plan, Comm: dynCommReport(s.Comm), Phases: s.Phases,
 	}
 }
 

@@ -176,7 +176,14 @@ func TestDynamicDistributedDifferential(t *testing.T) {
 			for _, seed := range dynSeeds() {
 				t.Run(fmt.Sprintf("%s/%s/seed%d", topo.name, eng.name, seed), func(t *testing.T) {
 					g := topo.build(seed)
-					dyn, err := NewDynamicBC(g, eng.opt)
+					// NoFuse keeps the patched engine on the two-region
+					// path: this differential pins operand delta-patching
+					// against full redistribution, so both engines must
+					// execute the same region structure (the fused form
+					// has its own differential below).
+					patchedOpt := eng.opt
+					patchedOpt.NoFuse = true
+					dyn, err := NewDynamicBC(g, patchedOpt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -300,5 +307,102 @@ func TestDynamicMutationsReexported(t *testing.T) {
 	}
 	if len(dyn.Log()) != 2 {
 		t.Fatalf("log len = %d", len(dyn.Log()))
+	}
+}
+
+// TestDynamicFusedDifferential is the fused-apply differential at the
+// façade level: for every seeded mutation prefix, a fused engine and the
+// two-region ablation (NoFuse) must agree — bit-identically under a forced
+// decomposition plan, within 1e-9 under automatic planning — while every
+// fused incremental apply spends strictly fewer modeled messages, and both
+// match a from-scratch Compute. MFBC_DIFFTEST_SEEDS widens the matrix.
+func TestDynamicFusedDifferential(t *testing.T) {
+	forced := spgemm.Plan{P1: 1, P2: 2, P3: 2, X: spgemm.RoleA, YZ: spgemm.VarBC}
+	engines := []struct {
+		name string
+		opt  DynamicOptions
+	}{
+		{"p4-forced", DynamicOptions{Procs: 4, Workers: 1, Plan: &forced, DirtyThreshold: -1}},
+		{"p4-auto", DynamicOptions{Procs: 4, Workers: 1, DirtyThreshold: -1}},
+		{"p2-1d", DynamicOptions{Procs: 2, Workers: 1, Constraint: spgemm.Only1D, DirtyThreshold: -1}},
+	}
+	for _, eng := range engines {
+		for _, seed := range dynSeeds() {
+			t.Run(fmt.Sprintf("%s/seed%d", eng.name, seed), func(t *testing.T) {
+				g := GridGraph(6, 6, 8, seed)
+				fused, err := NewDynamicBC(g, eng.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacyOpt := eng.opt
+				legacyOpt.NoFuse = true
+				legacy, err := NewDynamicBC(g, legacyOpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shadow := g.Clone()
+				rng := rand.New(rand.NewSource(seed*17 + 5))
+				sawFused := false
+				for step := 0; step < 4; step++ {
+					batch := make([]Mutation, 1+rng.Intn(2))
+					for i := range batch {
+						batch[i] = dynMutation(rng, shadow, true)
+						if batch[i].Op == MutAddVertex {
+							// Keep this stream on fused-eligible steps; the
+							// growth fallback is covered by the distributed
+							// differential above.
+							e := shadow.Edges[rng.Intn(shadow.M())]
+							batch[i] = Mutation{Op: MutSetWeight, U: e.U, V: e.V, W: float64(1 + rng.Intn(9))}
+						}
+						if err := shadow.Apply(batch[i]); err != nil {
+							t.Fatalf("step %d: shadow: %v", step, err)
+						}
+					}
+					frep, err := fused.Apply(batch)
+					if err != nil {
+						t.Fatalf("step %d: fused: %v", step, err)
+					}
+					lrep, err := legacy.Apply(batch)
+					if err != nil {
+						t.Fatalf("step %d: two-region: %v", step, err)
+					}
+					fs, ls := fused.Scores(), legacy.Scores()
+					if eng.opt.Plan != nil {
+						for v := range fs.BC {
+							if fs.BC[v] != ls.BC[v] {
+								t.Fatalf("step %d: bc[%d] bit-diverged: fused %v vs two-region %v", step, v, fs.BC[v], ls.BC[v])
+							}
+						}
+					} else {
+						for v := range fs.BC {
+							if !almostEqual(fs.BC[v], ls.BC[v]) {
+								t.Fatalf("step %d: bc[%d]: fused %v vs two-region %v", step, v, fs.BC[v], ls.BC[v])
+							}
+						}
+					}
+					want, err := Compute(shadow, Options{Engine: EngineMFBC})
+					if err != nil {
+						t.Fatalf("step %d: from-scratch: %v", step, err)
+					}
+					for v := range want.BC {
+						if !almostEqual(fs.BC[v], want.BC[v]) {
+							t.Fatalf("step %d: bc[%d] = %v, from-scratch %v", step, v, fs.BC[v], want.BC[v])
+						}
+					}
+					if frep.Strategy == "incremental" && frep.Affected > 0 {
+						if !frep.Fused {
+							t.Fatalf("step %d: incremental distributed apply did not fuse", step)
+						}
+						sawFused = true
+						if frep.Comm.Msgs >= lrep.Comm.Msgs {
+							t.Fatalf("step %d: fused apply spent %d msgs vs two-region %d", step, frep.Comm.Msgs, lrep.Comm.Msgs)
+						}
+					}
+				}
+				if !sawFused {
+					t.Fatal("stream never exercised a fused apply; differential is vacuous")
+				}
+			})
+		}
 	}
 }

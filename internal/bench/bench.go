@@ -30,6 +30,11 @@ type Config struct {
 	Batch   int   // sources per timed batch; default 32
 	Seed    int64
 	Quick   bool // shrink workloads for smoke tests and testing.B
+	// Samples is the sample-budget axis of the streaming-dist experiment:
+	// for each budget, the mutation stream replays through a sampled-mode
+	// engine and the points record budget vs. modeled communication and
+	// the Hoeffding error bound. Empty skips the sweep.
+	Samples []int
 }
 
 func (c *Config) fill() {
@@ -71,10 +76,15 @@ type Point struct {
 	Iters      int     `json:"iters"`
 	Err        string  `json:"err,omitempty"` // engines can fail (reproducing the paper's CombBLAS failures)
 	// Streaming-scenario fields (experiment "streaming-dist"): the
-	// strategy the dynamic engine chose for the apply and how many
-	// sources it re-ran.
-	Strategy string `json:"strategy,omitempty"`
-	Affected int    `json:"affected,omitempty"`
+	// strategy the dynamic engine chose for the apply, how many sources it
+	// re-ran, whether the apply executed as one fused machine region, the
+	// sample budget of sampled-mode points, and the Hoeffding half-width
+	// attached to sampled estimates.
+	Strategy string  `json:"strategy,omitempty"`
+	Affected int     `json:"affected,omitempty"`
+	Fused    bool    `json:"fused,omitempty"`
+	Samples  int     `json:"samples,omitempty"`
+	ErrBound float64 `json:"err_bound,omitempty"`
 }
 
 // Experiments lists the available experiment ids in presentation order.

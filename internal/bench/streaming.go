@@ -1,11 +1,14 @@
 // The streaming-distributed scenario: the dynamic engine on the simulated
 // machine, applying a congestion-style mutation stream to a weighted mesh
-// and recording the modeled communication of every incremental apply —
-// the comm trajectory future PRs track — next to what a from-scratch
-// distributed run on the same evolved topology costs. Because the engine
-// keeps the stationary adjacency operands resident and delta-patches them
-// per batch, the per-apply words moved should sit well below the
-// from-scratch baseline whenever the affected set is small.
+// and recording the modeled communication of every incremental apply.
+// Each stream replays twice — through the fused single-region engine and
+// through the two-region ablation (NoFuse) — so the artifact carries the
+// fused-vs-two-region W/S/msgs comparison directly: fusion should cut the
+// latency term (S, critical-path messages) roughly in half while words
+// moved stay comparable. A from-scratch distributed run on the evolved
+// topology anchors both series, and an optional sample-budget axis
+// (Config.Samples) replays the stream through sampled-mode engines,
+// recording budget vs. modeled communication and the Hoeffding bound.
 package bench
 
 import (
@@ -36,7 +39,7 @@ func StreamingDist(cfg Config) ([]Point, error) {
 	base.Weighted = true
 	base.Name = fmt.Sprintf("mesh-%dx%d", rows, cols)
 
-	fmt.Fprintf(cfg.Out, "\n== Streaming-distributed: incremental applies vs from-scratch runs on %s ==\n", base.Name)
+	fmt.Fprintf(cfg.Out, "\n== Streaming-distributed: fused vs two-region applies vs from-scratch runs on %s ==\n", base.Name)
 	fmt.Fprintf(cfg.Out, "%-22s %5s %6s %9s %12s %10s %10s %s\n",
 		"series", "p", "aff", "strategy", "W (bytes)", "S (msgs)", "model(s)", "plan")
 
@@ -47,50 +50,106 @@ func StreamingDist(cfg Config) ([]Point, error) {
 			continue
 		}
 		ran = true
-		eng, err := dynamic.New(base, dynamic.Config{
-			Procs: p, Batch: cfg.Batch, Workers: cfg.Workers,
-			DirtyThreshold: 0.5, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
+		// The same seeded stream replays through the fused engine and the
+		// two-region ablation, so their per-apply costs are comparable
+		// point by point.
+		variants := []struct {
+			series string
+			engine string
+			noFuse bool
+		}{
+			{"apply-fused", "dynamic-mfbc-fused", false},
+			{"apply-two-region", "dynamic-mfbc-2region", true},
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed*3 + int64(p)))
-		for round := 0; round < rounds; round++ {
-			batch := meshBatch(rng, eng.Snapshot().Graph, 1+rng.Intn(2))
-			rep, err := eng.Apply(batch)
+		var evolved *graph.Graph
+		for _, va := range variants {
+			// DirtyThreshold < 0 pins every apply to the incremental path:
+			// the series exists to compare the fused and two-region forms
+			// of the *incremental* apply, and a full-recompute fallback
+			// (identical in both engines) would blank the comparison on
+			// small quick-mode meshes.
+			eng, err := dynamic.New(base, dynamic.Config{
+				Procs: p, Batch: cfg.Batch, Workers: cfg.Workers,
+				DirtyThreshold: -1, Seed: cfg.Seed, NoFuse: va.noFuse,
+			})
 			if err != nil {
 				return nil, err
 			}
-			pt := Point{
-				Experiment: "streaming-dist", Graph: base.Name, Engine: "dynamic-mfbc",
-				Weighted: true, Procs: p, Batch: cfg.Batch, N: rep.N, M: rep.M,
-				Plan: rep.Plan, Strategy: string(rep.Strategy), Affected: rep.Affected,
-				ModelSec: rep.Comm.ModelSec, CommSec: rep.Comm.CommSec,
-				WallSec: rep.Wall.Seconds(), Bytes: rep.Comm.Bytes, Msgs: rep.Comm.Msgs,
+			rng := rand.New(rand.NewSource(cfg.Seed*3 + int64(p)))
+			for round := 0; round < rounds; round++ {
+				batch := meshBatch(rng, eng.Snapshot().Graph, 1+rng.Intn(2))
+				rep, err := eng.Apply(batch)
+				if err != nil {
+					return nil, err
+				}
+				pt := Point{
+					Experiment: "streaming-dist", Graph: base.Name, Engine: va.engine,
+					Weighted: true, Procs: p, Batch: cfg.Batch, N: rep.N, M: rep.M,
+					Plan: rep.Plan, Strategy: string(rep.Strategy), Affected: rep.Affected,
+					Fused:    rep.Fused,
+					ModelSec: rep.Comm.ModelSec, CommSec: rep.Comm.CommSec,
+					WallSec: rep.Wall.Seconds(), Bytes: rep.Comm.Bytes, Msgs: rep.Comm.Msgs,
+				}
+				fmt.Fprintf(cfg.Out, "%-22s %5d %6d %9s %12d %10d %10.5f %s\n",
+					va.series, p, pt.Affected, pt.Strategy, pt.Bytes, pt.Msgs, pt.ModelSec, pt.Plan)
+				pts = append(pts, pt)
 			}
-			fmt.Fprintf(cfg.Out, "%-22s %5d %6d %9s %12d %10d %10.5f %s\n",
-				"apply", p, pt.Affected, pt.Strategy, pt.Bytes, pt.Msgs, pt.ModelSec, pt.Plan)
-			pts = append(pts, pt)
+			evolved = eng.Snapshot().Graph
 		}
 		// The baseline every apply is implicitly compared against: a cold
 		// from-scratch distributed run on the evolved topology.
-		g := eng.Snapshot().Graph
-		full, err := core.MFBCDistributed(g, core.DistOptions{Procs: p, Workers: cfg.Workers, Batch: cfg.Batch})
+		full, err := core.MFBCDistributed(evolved, core.DistOptions{Procs: p, Workers: cfg.Workers, Batch: cfg.Batch})
 		if err != nil {
 			return nil, err
 		}
 		pt := Point{
 			Experiment: "streaming-dist", Graph: base.Name + "/from-scratch", Engine: "ctf-mfbc",
-			Weighted: true, Procs: p, Batch: cfg.Batch, N: g.N, M: g.M(),
-			Plan: full.Plan.String(), Strategy: "from-scratch", Affected: g.N,
+			Weighted: true, Procs: p, Batch: cfg.Batch, N: evolved.N, M: evolved.M(),
+			Plan: full.Plan.String(), Strategy: "from-scratch", Affected: evolved.N,
 			ModelSec: full.Stats.ModelSec, CommSec: full.Stats.CommSec,
 			WallSec: full.Stats.Wall.Seconds(), Bytes: full.Stats.MaxCost.Bytes,
 			Msgs: full.Stats.MaxCost.Msgs, Iters: full.Iterations,
-			MTEPSNode: mteps(g.AdjacencyNNZ(), g.N, p, full.Stats.ModelSec),
+			MTEPSNode: mteps(evolved.AdjacencyNNZ(), evolved.N, p, full.Stats.ModelSec),
 		}
 		fmt.Fprintf(cfg.Out, "%-22s %5d %6d %9s %12d %10d %10.5f %s\n",
 			"from-scratch", p, pt.Affected, pt.Strategy, pt.Bytes, pt.Msgs, pt.ModelSec, pt.Plan)
 		pts = append(pts, pt)
+
+		// Sample-budget axis: replay the stream through sampled-mode
+		// engines, one per budget, recording modeled comm against the
+		// budget and the Hoeffding half-width of the estimates.
+		for _, budget := range cfg.Samples {
+			if budget <= 0 {
+				continue
+			}
+			eng, err := dynamic.New(base, dynamic.Config{
+				Procs: p, Batch: cfg.Batch, Workers: cfg.Workers,
+				DirtyThreshold: 0.5, Seed: cfg.Seed,
+				SampleBudget: budget, RefreshEvery: rounds + 1, // keep every apply sampled
+			})
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed*3 + int64(p)))
+			for round := 0; round < rounds; round++ {
+				batch := meshBatch(rng, eng.Snapshot().Graph, 1+rng.Intn(2))
+				rep, err := eng.Apply(batch)
+				if err != nil {
+					return nil, err
+				}
+				pt := Point{
+					Experiment: "streaming-dist", Graph: base.Name, Engine: "dynamic-mfbc-sampled",
+					Weighted: true, Procs: p, Batch: cfg.Batch, N: rep.N, M: rep.M,
+					Plan: rep.Plan, Strategy: string(rep.Strategy), Affected: rep.Affected,
+					Samples: budget, ErrBound: rep.ErrBound,
+					ModelSec: rep.Comm.ModelSec, CommSec: rep.Comm.CommSec,
+					WallSec: rep.Wall.Seconds(), Bytes: rep.Comm.Bytes, Msgs: rep.Comm.Msgs,
+				}
+				fmt.Fprintf(cfg.Out, "%-22s %5d %6d %9s %12d %10d %10.5f %s (k=%d ±%.1f)\n",
+					"apply-sampled", p, pt.Affected, pt.Strategy, pt.Bytes, pt.Msgs, pt.ModelSec, pt.Plan, budget, pt.ErrBound)
+				pts = append(pts, pt)
+			}
+		}
 	}
 	if !ran {
 		return nil, fmt.Errorf("bench: streaming-dist needs at least one proc count ≥ 2 (got %v)", cfg.Procs)

@@ -26,6 +26,7 @@ type DistOptions struct {
 	Constraint spgemm.Constraint  // restrict the automatic search (ablations)
 	Model      *machine.CostModel // override the α–β–γ constants
 	Timeout    int                // seconds per collective watchdog; 0 = default
+	CacheSets  int                // per-rank stationary-cache bound in working sets per matrix; ≤ 0 = unbounded
 }
 
 // DistResult is the outcome of a distributed run.
@@ -67,18 +68,23 @@ type planner struct {
 	model  machine.CostModel
 	cons   spgemm.Constraint
 	forced *spgemm.Plan
+	bBytes int64 // stationary-operand wire size; 0 selects weightBytes
 }
 
 func (pl planner) planFor(rows int, nnzA int64, bytesA int64) spgemm.Plan {
 	if pl.forced != nil {
 		return *pl.forced
 	}
+	bBytes := pl.bBytes
+	if bBytes == 0 {
+		bBytes = weightBytes
+	}
 	pr := spgemm.Problem{
 		M: rows, K: pl.n, N: pl.n,
 		NNZA:   nnzA,
 		NNZB:   pl.adjNNZ,
 		BytesA: bytesA,
-		BytesB: weightBytes,
+		BytesB: bBytes,
 		BytesC: bytesA,
 	}
 	return spgemm.Search(pl.p, pr, pl.model, pl.cons)

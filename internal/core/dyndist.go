@@ -37,11 +37,12 @@ type EdgeDiff struct {
 // DistSession holds the per-rank resident state of a distributed MFBC
 // computation across runs.
 type DistSession struct {
-	opt    DistOptions
-	p      int
-	g      *graph.Graph
-	adjCSR *sparse.CSR[float64]
-	ranks  []*distRank
+	opt       DistOptions
+	p         int
+	g         *graph.Graph
+	adjCSR    *sparse.CSR[float64]
+	ranks     []*distRank
+	evictBase int64 // operand-cache evictions of caches dropped by install
 }
 
 // distRank is one simulated rank's persistent state: its shard of the
@@ -49,6 +50,10 @@ type DistSession struct {
 type distRank struct {
 	aMat, atMat *distmat.Mat[float64]
 	cache       *spgemm.OperandCache
+	// pendingFlops is the local splice work of host-side Patch calls not
+	// yet charged to the model; the next region charges it as γ-flops in
+	// its "patch" phase, so delta-patching is never free compute.
+	pendingFlops int64
 }
 
 // NewDistSession validates g and builds the resident operands for
@@ -70,19 +75,22 @@ func NewDistSession(g *graph.Graph, opt DistOptions) (*DistSession, error) {
 }
 
 // install (re)builds every rank's operand shards from the global topology
-// with fresh operand caches.
+// with fresh operand caches (bounded per matrix by opt.CacheSets).
 func (s *DistSession) install(g *graph.Graph, adjCSR *sparse.CSR[float64]) {
 	trop := algebra.TropicalMonoid()
 	adjCOO := adjCSR.ToCOO()
 	atCOO := sparse.Transpose(adjCSR).ToCOO()
 	shard := distmat.DistShard(s.p)
 	s.g, s.adjCSR = g, adjCSR
+	for _, rk := range s.ranks {
+		s.evictBase += rk.cache.Evictions()
+	}
 	s.ranks = make([]*distRank, s.p)
 	for r := 0; r < s.p; r++ {
 		rk := &distRank{
 			aMat:  distmat.FromGlobal(r, adjCOO, shard, trop),
 			atMat: distmat.FromGlobal(r, atCOO, shard, trop),
-			cache: spgemm.NewOperandCache(),
+			cache: spgemm.NewOperandCacheSized(s.opt.CacheSets),
 		}
 		// Pin the matrix identities host-side, before any rank goroutine
 		// could race to lazily assign them.
@@ -97,6 +105,18 @@ func (s *DistSession) Graph() *graph.Graph { return s.g }
 
 // Procs returns the simulated processor count.
 func (s *DistSession) Procs() int { return s.p }
+
+// CacheEvictions returns the cumulative stationary-working-set evictions of
+// every rank's bounded operand cache over the session's lifetime (0 unless
+// DistOptions.CacheSets bounds the caches). Callers must not race it with
+// Run/Patch/ApplyIncremental.
+func (s *DistSession) CacheEvictions() int64 {
+	total := s.evictBase
+	for _, rk := range s.ranks {
+		total += rk.cache.Evictions()
+	}
+	return total
+}
 
 // Reset rebuilds the resident operands from newG and drops every cached
 // working set, so the next runs pay full redistribution again. It is the
@@ -134,15 +154,25 @@ func (s *DistSession) Patch(newG *graph.Graph, adjCSR *sparse.CSR[float64], diff
 	}
 	editsA := adjacencyEdits(directed, diffs, false)
 	editsAt := adjacencyEdits(directed, diffs, true)
-	shard := distmat.DistShard(s.p)
 	for r, rk := range s.ranks {
-		rank := r
-		owned := func(i, j int32) bool { return shard.Owner(i, j) == rank }
-		rk.aMat.Local = applyEdits(rk.aMat.Local, editsA, owned)
-		rk.atMat.Local = applyEdits(rk.atMat.Local, editsAt, owned)
-		spgemm.PatchStationary(rk.cache, rank, rk.aMat.ID(), editsA)
-		spgemm.PatchStationary(rk.cache, rank, rk.atMat.ID(), editsAt)
+		rk.pendingFlops += s.patchRank(rk, r, editsA, editsAt)
 	}
+}
+
+// patchRank splices the adjacency edits into one rank's resident blocks —
+// the shard operands and every cached working set — and returns the splice
+// work in entry writes. Host callers (Patch) defer that work to the next
+// region via pendingFlops; the fused region calls it per rank goroutine and
+// charges it directly.
+func (s *DistSession) patchRank(rk *distRank, rank int, editsA, editsAt []spgemm.StationaryEdit[float64]) int64 {
+	shard := distmat.DistShard(s.p)
+	owned := func(i, j int32) bool { return shard.Owner(i, j) == rank }
+	rk.aMat.Local = applyEdits(rk.aMat.Local, editsA, owned)
+	rk.atMat.Local = applyEdits(rk.atMat.Local, editsAt, owned)
+	ops := int64(len(rk.aMat.Local) + len(rk.atMat.Local))
+	ops += spgemm.PatchStationary(rk.cache, rank, rk.aMat.ID(), editsA)
+	ops += spgemm.PatchStationary(rk.cache, rank, rk.atMat.ID(), editsAt)
+	return ops
 }
 
 // adjacencyEdits expands an edge diff into sorted coordinate edits of the
@@ -231,6 +261,14 @@ func (s *DistSession) run(sources []int32, nb int) (*DistResult, error) {
 		rk := s.ranks[proc.Rank()]
 		sess := spgemm.NewSessionWithCache(proc, rk.cache)
 		sess.Workers = s.opt.Workers
+		// Deferred host-side Patch splice work is charged here, as local
+		// flops of the region that first benefits from the patched blocks.
+		if rk.pendingFlops > 0 {
+			proc.Phase("patch")
+			proc.AddFlops(rk.pendingFlops)
+			rk.pendingFlops = 0
+		}
+		proc.Phase("sweep")
 		bc := make([]float64, g.N)
 		iters := 0
 		batches := 0
@@ -244,6 +282,7 @@ func (s *DistSession) run(sources []int32, nb int) (*DistResult, error) {
 			})
 		}
 		// One deferred dense reduction accumulates λ across processors.
+		proc.Phase("reduce")
 		total := machine.Allreduce(world, bc, func(a, b float64) float64 { return a + b })
 		itersPer[proc.Rank()] = iters
 		bcPer[proc.Rank()] = total

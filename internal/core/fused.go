@@ -1,0 +1,546 @@
+// Fused single-region incremental applies. An evolving-graph apply needs
+// the dependency contributions of the affected pivots on both sides of the
+// edit: δ_old to subtract, δ_new to add. PR 4 ran them as two machine
+// regions with a host-side operand patch in between, paying the latency
+// term S twice. ApplyIncremental fuses everything into ONE region over the
+// pair semiring (internal/algebra/pair.go): every matrix entry carries an
+// (old, new) component pair, the stationary operand is the pair lift of
+// the resident adjacency spliced with the batch diff, and a single sweep
+// advances both sides in lock-step — each superstep's collectives are paid
+// once for the pair instead of once per side, so modeled S is comparable
+// to a single run (iterations = max of the two sides, not their sum).
+//
+// The region's phases, attributed via machine.Proc.Phase:
+//
+//	diff   — rank 0 scatters each rank's share of the edge diff (the only
+//	         modeled communication the patch itself needs)
+//	patch  — each rank splices its resident blocks (scalar, to advance the
+//	         session, and pair, to stage the fused operand) with the splice
+//	         charged as local γ-flops
+//	sweep  — the fused pair MFBF/MFBr sweeps
+//	reduce — one concatenated allreduce of both sides' accumulators
+//
+// Because the pair components' identities are exact absorbing elements and
+// the local kernels fold equal-coordinate contributions stably, the old
+// and new components of the fused result are bit-identical to what the two
+// separate scalar regions produce under the same decomposition plans.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/distmat"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+)
+
+// Wire sizes of the pair element types, for plan costing.
+const (
+	multpathPairBytes = 40 // Entry[MultPathPair]: 2×int32 + 2×(float64+float64)
+	centpathPairBytes = 56 // Entry[CentPathPair]: 2×int32 + 2×(float64+float64+int64)
+	weightPairBytes   = 24 // Entry[WeightPair]: 2×int32 + 2×float64
+)
+
+// IncrementalResult is the outcome of one fused incremental region.
+type IncrementalResult struct {
+	OldBC []float64 // Σ_{s∈oldSources} δ_old(s,·) on the pre-batch topology
+	NewBC []float64 // Σ_{s∈newSources} δ_new(s,·) on the post-batch topology
+	Plan  spgemm.Plan
+	Stats machine.RunStats // with per-phase attribution (diff/patch/sweep/reduce)
+
+	Iterations int
+	Batches    int
+}
+
+// ApplyIncremental runs one fused region: the old-side pivot re-runs
+// against the still-resident pre-batch operands and the new-side re-runs
+// against their patched successors execute simultaneously over the pair
+// semiring, with the patch itself performed inside the region (diff
+// scattered as a modeled collective, splice charged as local γ-flops). On
+// success the session's resident operands encode newG, exactly as a
+// Patch + Run sequence would leave them. On error the resident state is
+// indeterminate; callers should drop and rebuild the session.
+//
+// newG must have the session's vertex count (vertex growth changes the
+// operand dimensions; callers fall back to the two-region path). diffs is
+// the effective edge diff between the session's topology and newG, as for
+// Patch. newAdj is newG's adjacency (rebuilt when nil).
+func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, newAdj *sparse.CSR[float64], diffs []EdgeDiff, newSources []int32) (*IncrementalResult, error) {
+	if newG.N != s.g.N {
+		return nil, fmt.Errorf("core: fused apply needs a fixed vertex set (%d → %d); use Reset + Run", s.g.N, newG.N)
+	}
+	if newAdj == nil {
+		newAdj = newG.Adjacency()
+	}
+	oldG, oldAdj := s.g, s.adjCSR
+	directed := newG.Directed
+	n := newG.N
+	if len(diffs) == 0 && len(oldSources) == 0 && len(newSources) == 0 {
+		// Structural no-op: nothing to patch, nothing to sweep.
+		s.g, s.adjCSR = newG, newAdj
+		return &IncrementalResult{OldBC: make([]float64, n), NewBC: make([]float64, n)}, nil
+	}
+
+	sources, inOld, inNew := unionSources(oldSources, newSources, n)
+	nb := Options{Batch: s.opt.Batch}.batchFor(n)
+	if len(sources) > 0 && len(sources) < nb {
+		nb = len(sources)
+	}
+
+	mach := machine.New(s.p)
+	if s.opt.Model != nil {
+		mach.Model = *s.opt.Model
+	}
+	unionNNZ := int64(oldG.AdjacencyNNZ())
+	if nz := int64(newG.AdjacencyNNZ()); nz > unionNNZ {
+		unionNNZ = nz
+	}
+	pl := planner{
+		p: s.p, n: n, adjNNZ: unionNNZ,
+		model: mach.Model, cons: s.opt.Constraint, forced: s.opt.Plan,
+		bBytes: weightPairBytes,
+	}
+	plan := pl.planFor(nb, int64(float64(nb)*newG.AvgDegree()), multpathPairBytes)
+
+	// Rank 0's scatter payload: every rank's share of the edge diff (the
+	// diffs whose derived adjacency coordinates land on one of the rank's
+	// resident blocks). Prepared host-side from the pure ownership
+	// functions — the data the root node of a real machine would hold.
+	parts := s.diffShares(diffs, directed)
+
+	res := &IncrementalResult{Plan: plan, OldBC: make([]float64, n), NewBC: make([]float64, n)}
+	itersPer := make([]int, s.p)
+	oldPer := make([][]float64, s.p)
+	newPer := make([][]float64, s.p)
+	pairIDs := make([][2]uint64, s.p)
+	shard := distmat.DistShard(s.p)
+
+	stats, err := mach.Run(func(proc *machine.Proc) {
+		world := proc.World()
+		rank := proc.Rank()
+		rk := s.ranks[rank]
+		sess := spgemm.NewSessionWithCache(proc, rk.cache)
+		sess.Workers = s.opt.Workers
+		if rk.pendingFlops > 0 {
+			proc.Phase("patch")
+			proc.AddFlops(rk.pendingFlops)
+			rk.pendingFlops = 0
+		}
+
+		// Receive this rank's diff share via the modeled collective.
+		proc.Phase("diff")
+		myDiffs := machine.Scatter(world, 0, parts)
+
+		// Stage the pair operands from resident blocks + diff, and advance
+		// the scalar residents to the post-batch topology, charging the
+		// splice work as local flops.
+		proc.Phase("patch")
+		editsA := adjacencyEdits(directed, myDiffs, false)
+		editsAt := adjacencyEdits(directed, myDiffs, true)
+		aPair, atPair, ops := s.stagePairRank(rk, rank, editsA, editsAt)
+		pairIDs[rank] = [2]uint64{aPair.ID(), atPair.ID()}
+		proc.AddFlops(ops)
+
+		// The fused pair sweeps: both sides in lock-step.
+		proc.Phase("sweep")
+		bcOld := make([]float64, n)
+		bcNew := make([]float64, n)
+		iters := 0
+		batches := 0
+		for _, batch := range batchList(n, nb, sources) {
+			batches++
+			t, itF := distMFBFPair(sess, pl, aPair, oldAdj, newAdj, batch, inOld, inNew, shard)
+			z, t, itB := distMFBrPair(sess, pl, atPair, t, batch)
+			iters += itF + itB
+			distmat.ZipJoin(z, t, func(_, j int32, zc algebra.CentPathPair, tm algebra.MultPathPair) {
+				bcOld[j] += zc.Old.P * tm.Old.M
+				bcNew[j] += zc.New.P * tm.New.M
+			})
+		}
+
+		// One concatenated dense reduction for both sides.
+		proc.Phase("reduce")
+		both := make([]float64, 0, 2*n)
+		both = append(both, bcOld...)
+		both = append(both, bcNew...)
+		total := machine.Allreduce(world, both, func(a, b float64) float64 { return a + b })
+		itersPer[rank] = iters
+		oldPer[rank] = total[:n]
+		newPer[rank] = total[n:]
+		if rank == 0 {
+			res.Batches = batches
+		}
+	})
+	// The pair working sets are per-apply scratch: drop them so a bounded
+	// cache doesn't carry dead matrices and an unbounded one doesn't leak.
+	for r, rk := range s.ranks {
+		for _, id := range pairIDs[r] {
+			if id != 0 {
+				spgemm.DropMatrix(rk.cache, id)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.g, s.adjCSR = newG, newAdj
+	res.Stats = stats
+	res.Iterations = itersPer[0]
+	copy(res.OldBC, oldPer[0])
+	copy(res.NewBC, newPer[0])
+	return res, nil
+}
+
+// unionSources merges two ascending source lists and returns per-vertex
+// membership masks. The fused frontier has one row per union source; a
+// side's component is seeded only for its members.
+func unionSources(oldS, newS []int32, n int) ([]int32, []bool, []bool) {
+	inOld := make([]bool, n)
+	inNew := make([]bool, n)
+	out := make([]int32, 0, len(oldS)+len(newS))
+	x, y := 0, 0
+	for x < len(oldS) || y < len(newS) {
+		var v int32
+		switch {
+		case y >= len(newS) || (x < len(oldS) && oldS[x] < newS[y]):
+			v = oldS[x]
+			x++
+		case x >= len(oldS) || newS[y] < oldS[x]:
+			v = newS[y]
+			y++
+		default:
+			v = oldS[x]
+			x++
+			y++
+		}
+		out = append(out, v)
+	}
+	for _, v := range oldS {
+		inOld[v] = true
+	}
+	for _, v := range newS {
+		inNew[v] = true
+	}
+	return out, inOld, inNew
+}
+
+// diffShares computes, per destination rank, the subset of the edge diff
+// whose derived adjacency-matrix coordinates (for A or Aᵀ, both edge
+// orientations for undirected graphs) land on one of that rank's resident
+// blocks: the shard operands or any cached working set.
+func (s *DistSession) diffShares(diffs []EdgeDiff, directed bool) [][]EdgeDiff {
+	shard := distmat.DistShard(s.p)
+	parts := make([][]EdgeDiff, s.p)
+	// The ownership closures are hoisted once per (plan, dims) — the plan
+	// set is SPMD-identical across ranks, so rank 0's cache describes all.
+	ownsFor := func(plans []spgemm.PlanDims) []func(rank int, i, j int32) bool {
+		out := make([]func(rank int, i, j int32) bool, len(plans))
+		for i, pd := range plans {
+			out[i] = spgemm.StationaryOwnership(pd.Plan, pd.K, pd.N)
+		}
+		return out
+	}
+	ownsA := ownsFor(spgemm.CachedPlans(s.ranks[0].cache, s.ranks[0].aMat.ID()))
+	ownsAt := ownsFor(spgemm.CachedPlans(s.ranks[0].cache, s.ranks[0].atMat.ID()))
+	for _, d := range diffs {
+		coords := [][2]int32{{d.U, d.V}}
+		if !directed {
+			coords = append(coords, [2]int32{d.V, d.U})
+		}
+		for r := 0; r < s.p; r++ {
+			needed := false
+			for _, c := range coords {
+				// Both A's (i, j) and Aᵀ's (j, i) coordinates of this edge.
+				if shard.Owner(c[0], c[1]) == r || shard.Owner(c[1], c[0]) == r {
+					needed = true
+					break
+				}
+				for _, owns := range ownsA {
+					if owns(r, c[0], c[1]) {
+						needed = true
+						break
+					}
+				}
+				if needed {
+					break
+				}
+				for _, owns := range ownsAt {
+					if owns(r, c[1], c[0]) {
+						needed = true
+						break
+					}
+				}
+				if needed {
+					break
+				}
+			}
+			if needed {
+				parts[r] = append(parts[r], d)
+			}
+		}
+	}
+	return parts
+}
+
+// stagePairRank builds one rank's pair operands for the fused region and
+// advances its scalar residents to the post-batch topology. The pair lift
+// reads the pre-patch blocks, so it must (and does) run before the scalar
+// splice. Returns the pair matrices and the total local splice work.
+func (s *DistSession) stagePairRank(rk *distRank, rank int, editsA, editsAt []spgemm.StationaryEdit[float64]) (aPair, atPair *distmat.Mat[algebra.WeightPair], ops int64) {
+	shard := distmat.DistShard(s.p)
+	owned := func(i, j int32) bool { return shard.Owner(i, j) == rank }
+
+	lift := func(m *distmat.Mat[float64], edits []spgemm.StationaryEdit[float64]) *distmat.Mat[algebra.WeightPair] {
+		local := spgemm.PairSplice(m.Local, edits, owned)
+		ops += int64(len(local))
+		pair := &distmat.Mat[algebra.WeightPair]{Rows: m.Rows, Cols: m.Cols, Dist: m.Dist, Local: local}
+		ops += spgemm.StagePairStationary(rk.cache, rank, m.ID(), pair.ID(), edits)
+		return pair
+	}
+	aPair = lift(rk.aMat, editsA)
+	atPair = lift(rk.atMat, editsAt)
+	ops += s.patchRank(rk, rank, editsA, editsAt)
+	return aPair, atPair, ops
+}
+
+// distMFBFPair is Algorithm 1 over the pair semiring: one sweep advances
+// the old-side frontier (over the pre-batch adjacency component) and the
+// new-side frontier (over the post-batch component) in lock-step. Row i of
+// the frontier is union source batch[i]; a side's component is seeded only
+// when the source belongs to that side.
+func distMFBFPair(
+	sess *spgemm.Session, pl planner,
+	aPair *distmat.Mat[algebra.WeightPair],
+	oldCSR, newCSR *sparse.CSR[float64],
+	batch []int32, inOld, inNew []bool, shard distmat.Dist,
+) (*distmat.Mat[algebra.MultPathPair], int) {
+	mpp := algebra.MultPathPairMonoid()
+	wp := algebra.WeightPairMonoid()
+	world := sess.Proc.World()
+	n := aPair.Cols
+	nb := len(batch)
+
+	init := sparse.NewCOO[algebra.MultPathPair](nb, n)
+	for si, src := range batch {
+		var oc, nc []int32
+		var ov, nv []float64
+		if inOld[src] {
+			oc, ov = oldCSR.Row(int(src))
+		}
+		if inNew[src] {
+			nc, nv = newCSR.Row(int(src))
+		}
+		x, y := 0, 0
+		for x < len(oc) || y < len(nc) {
+			var col int32
+			v := algebra.MultPathPairZero()
+			switch {
+			case y >= len(nc) || (x < len(oc) && oc[x] < nc[y]):
+				col = oc[x]
+				v.Old = algebra.MultPath{W: ov[x], M: 1}
+				x++
+			case x >= len(oc) || nc[y] < oc[x]:
+				col = nc[y]
+				v.New = algebra.MultPath{W: nv[y], M: 1}
+				y++
+			default:
+				col = oc[x]
+				v.Old = algebra.MultPath{W: ov[x], M: 1}
+				v.New = algebra.MultPath{W: nv[y], M: 1}
+				x++
+				y++
+			}
+			if col == src {
+				continue
+			}
+			init.Append(int32(si), col, v)
+		}
+	}
+	t := distmat.FromGlobal(world.Rank(), init, shard, mpp)
+	frontier := t
+	iters := 0
+	for {
+		nnz := distmat.GlobalNNZ(world, frontier)
+		if nnz == 0 {
+			break
+		}
+		iters++
+		if iters > n+1 {
+			panic("core: fused MFBF failed to converge")
+		}
+		plan := pl.planFor(nb, nnz, multpathPairBytes)
+		ext := spgemm.Multiply(sess, plan, frontier, aPair, algebra.BFActionPair, mpp, mpp, wp, true)
+		ext = ext.Filter(func(i, j int32, _ algebra.MultPathPair) bool { return j != batch[i] })
+		t = distmat.Redistribute(world, t, ext.Dist, mpp)
+		tNew := distmat.EWise(t, ext, mpp)
+		frontier = &distmat.Mat[algebra.MultPathPair]{
+			Rows: nb, Cols: n, Dist: ext.Dist,
+			Local: screenFrontierPair(ext.Local, tNew.Local),
+		}
+		t = tNew
+	}
+	return t, iters
+}
+
+// screenFrontierPair keeps, per component, extension entries whose weight
+// matches the accumulated T — the pair analogue of screenFrontierEntries,
+// decided side by side so one side's survival never resurrects the other.
+func screenFrontierPair(ext, t []sparse.Entry[algebra.MultPathPair]) []sparse.Entry[algebra.MultPathPair] {
+	var out []sparse.Entry[algebra.MultPathPair]
+	y := 0
+	for _, e := range ext {
+		for y < len(t) && entryLess(t[y], e) {
+			y++
+		}
+		if y >= len(t) || t[y].I != e.I || t[y].J != e.J {
+			continue
+		}
+		v := algebra.MultPathPairZero()
+		if !algebra.MultPathIsZero(e.V.Old) && t[y].V.Old.W == e.V.Old.W && e.V.Old.M > 0 {
+			v.Old = e.V.Old
+		}
+		if !algebra.MultPathIsZero(e.V.New) && t[y].V.New.W == e.V.New.W && e.V.New.M > 0 {
+			v.New = e.V.New
+		}
+		if !algebra.MultPathPairIsZero(v) {
+			out = append(out, sparse.Entry[algebra.MultPathPair]{I: e.I, J: e.J, V: v})
+		}
+	}
+	return out
+}
+
+// distMFBrPair is Algorithm 2 over the pair semiring.
+func distMFBrPair(
+	sess *spgemm.Session, pl planner,
+	atPair *distmat.Mat[algebra.WeightPair], t *distmat.Mat[algebra.MultPathPair],
+	batch []int32,
+) (*distmat.Mat[algebra.CentPathPair], *distmat.Mat[algebra.MultPathPair], int) {
+	cpp := algebra.CentPathPairMonoid()
+	mpp := algebra.MultPathPairMonoid()
+	wp := algebra.WeightPairMonoid()
+	world := sess.Proc.World()
+	n := t.Cols
+	nb := len(batch)
+
+	z0 := distmat.Map(t, cpp, func(_, _ int32, v algebra.MultPathPair) algebra.CentPathPair {
+		out := algebra.CentPathPairZero()
+		if !algebra.MultPathIsZero(v.Old) {
+			out.Old = algebra.CentPath{W: v.Old.W, P: 0, C: 1}
+		}
+		if !algebra.MultPathIsZero(v.New) {
+			out.New = algebra.CentPath{W: v.New.W, P: 0, C: 1}
+		}
+		return out
+	})
+	nnzT := distmat.GlobalNNZ(world, t)
+	plan := pl.planFor(nb, nnzT, centpathPairBytes)
+	p1 := spgemm.Multiply(sess, plan, z0, atPair, algebra.BrandesActionPair, cpp, cpp, wp, true)
+	t = distmat.Redistribute(world, t, p1.Dist, mpp)
+	counts := screenCentPair(p1.Local, t.Local)
+
+	z := &distmat.Mat[algebra.CentPathPair]{Rows: nb, Cols: n, Dist: t.Dist, Local: buildZPair(t.Local, counts)}
+	frontier := &distmat.Mat[algebra.CentPathPair]{Rows: nb, Cols: n, Dist: t.Dist, Local: collectFrontierPair(z.Local, t.Local)}
+
+	iters := 0
+	for {
+		nnz := distmat.GlobalNNZ(world, frontier)
+		if nnz == 0 {
+			break
+		}
+		iters++
+		if iters > n+1 {
+			panic("core: fused MFBr failed to converge")
+		}
+		plan = pl.planFor(nb, nnz, centpathPairBytes)
+		p := spgemm.Multiply(sess, plan, frontier, atPair, algebra.BrandesActionPair, cpp, cpp, wp, true)
+		if p.Dist.Key != z.Dist.Key {
+			t = distmat.Redistribute(world, t, p.Dist, mpp)
+			z = distmat.Redistribute(world, z, p.Dist, cpp)
+		}
+		pScreened := &distmat.Mat[algebra.CentPathPair]{Rows: nb, Cols: n, Dist: p.Dist, Local: screenCentPair(p.Local, t.Local)}
+		z = distmat.EWise(z, pScreened, cpp)
+		frontier = &distmat.Mat[algebra.CentPathPair]{Rows: nb, Cols: n, Dist: z.Dist, Local: collectFrontierPair(z.Local, t.Local)}
+	}
+	return z, t, iters
+}
+
+// screenCentPair keeps, per component, centpath entries matching T's weight
+// at the same coordinate. A dead T component carries weight +∞ and a dead
+// centpath component −∞, so the equality test alone screens liveness.
+func screenCentPair(p []sparse.Entry[algebra.CentPathPair], t []sparse.Entry[algebra.MultPathPair]) []sparse.Entry[algebra.CentPathPair] {
+	var out []sparse.Entry[algebra.CentPathPair]
+	y := 0
+	for _, e := range p {
+		for y < len(t) && entryLess(t[y], e) {
+			y++
+		}
+		if y >= len(t) || t[y].I != e.I || t[y].J != e.J {
+			continue
+		}
+		v := algebra.CentPathPairZero()
+		if t[y].V.Old.W == e.V.Old.W {
+			v.Old = e.V.Old
+		}
+		if t[y].V.New.W == e.V.New.W {
+			v.New = e.V.New
+		}
+		if !algebra.CentPathPairIsZero(v) {
+			out = append(out, sparse.Entry[algebra.CentPathPair]{I: e.I, J: e.J, V: v})
+		}
+	}
+	return out
+}
+
+// buildZPair merges the T pattern with screened child counts, per
+// component: every live T component appears with counter = its number of
+// shortest-path-DAG children; dead components stay the exact zero.
+func buildZPair(t []sparse.Entry[algebra.MultPathPair], counts []sparse.Entry[algebra.CentPathPair]) []sparse.Entry[algebra.CentPathPair] {
+	out := make([]sparse.Entry[algebra.CentPathPair], 0, len(t))
+	y := 0
+	for _, e := range t {
+		for y < len(counts) && entryLess(counts[y], e) {
+			y++
+		}
+		var cOld, cNew int64
+		if y < len(counts) && counts[y].I == e.I && counts[y].J == e.J {
+			cOld = counts[y].V.Old.C // a dead counts component has C = 0
+			cNew = counts[y].V.New.C
+		}
+		v := algebra.CentPathPairZero()
+		if !algebra.MultPathIsZero(e.V.Old) {
+			v.Old = algebra.CentPath{W: e.V.Old.W, P: 0, C: cOld}
+		}
+		if !algebra.MultPathIsZero(e.V.New) {
+			v.New = algebra.CentPath{W: e.V.New.W, P: 0, C: cNew}
+		}
+		out = append(out, sparse.Entry[algebra.CentPathPair]{I: e.I, J: e.J, V: v})
+	}
+	return out
+}
+
+// collectFrontierPair extracts, per component, Z entries whose counter just
+// reached zero, emitting (T.w, ζ + 1/σ̄, −1) and marking them done in place.
+func collectFrontierPair(z []sparse.Entry[algebra.CentPathPair], t []sparse.Entry[algebra.MultPathPair]) []sparse.Entry[algebra.CentPathPair] {
+	var out []sparse.Entry[algebra.CentPathPair]
+	for k := range z {
+		v := algebra.CentPathPairZero()
+		emit := false
+		if !algebra.CentPathIsZero(z[k].V.Old) && z[k].V.Old.C == 0 {
+			v.Old = algebra.CentPath{W: z[k].V.Old.W, P: z[k].V.Old.P + 1/t[k].V.Old.M, C: -1}
+			z[k].V.Old.C = -1
+			emit = true
+		}
+		if !algebra.CentPathIsZero(z[k].V.New) && z[k].V.New.C == 0 {
+			v.New = algebra.CentPath{W: z[k].V.New.W, P: z[k].V.New.P + 1/t[k].V.New.M, C: -1}
+			z[k].V.New.C = -1
+			emit = true
+		}
+		if emit {
+			out = append(out, sparse.Entry[algebra.CentPathPair]{I: z[k].I, J: z[k].J, V: v})
+		}
+	}
+	return out
+}

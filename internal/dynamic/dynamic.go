@@ -94,7 +94,19 @@ type Config struct {
 	// on every apply. Scores and plans are identical either way — the
 	// differential tests pin that — but rebuilding pays the staging
 	// communication again per apply; it exists as the ablation baseline.
+	// It also forces the two-region incremental path (a rebuilt session
+	// has no resident pre-batch operands to fuse against).
 	DistRebuild bool
+	// NoFuse keeps incremental distributed applies on the two-region path
+	// (old-side region, host patch, new-side region) instead of the fused
+	// single-region form: the ablation baseline the differential tests and
+	// the streaming-dist benchmark compare the fused path against.
+	NoFuse bool
+	// CacheSets bounds each simulated rank's stationary-operand cache to
+	// this many working sets per matrix, LRU-evicted across (plan, dims)
+	// keys; ≤ 0 keeps the cache unbounded. Long streams whose automatic
+	// plan search wanders across many decompositions stay bounded.
+	CacheSets int
 
 	// LogCompactAt bounds the mutation log: past this many entries the
 	// engine compacts it (or, with LogTruncate, snapshots and truncates).
@@ -152,21 +164,59 @@ func commOf(st machine.RunStats) CommStats {
 	}
 }
 
+// PhaseComm is one named region phase's share of an apply's modeled cost
+// (machine.PhaseStats flattened for reports and JSON). For a fused apply
+// the phases are diff/patch/sweep/reduce; a legacy multi-region apply
+// merges the phases of its regions by name.
+type PhaseComm struct {
+	Name     string  `json:"name"`
+	Bytes    int64   `json:"bytes"`
+	Msgs     int64   `json:"msgs"`
+	Flops    int64   `json:"flops"`
+	ModelSec float64 `json:"model_sec"`
+}
+
+// mergePhases folds a region's phase breakdown into the apply's, by name.
+func mergePhases(acc []PhaseComm, phases []machine.PhaseStats) []PhaseComm {
+	for _, ph := range phases {
+		found := false
+		for i := range acc {
+			if acc[i].Name == ph.Name {
+				acc[i].Bytes += ph.MaxCost.Bytes
+				acc[i].Msgs += ph.MaxCost.Msgs
+				acc[i].Flops += ph.MaxCost.Flops
+				acc[i].ModelSec += ph.ModelSec
+				found = true
+				break
+			}
+		}
+		if !found {
+			acc = append(acc, PhaseComm{
+				Name: ph.Name, Bytes: ph.MaxCost.Bytes, Msgs: ph.MaxCost.Msgs,
+				Flops: ph.MaxCost.Flops, ModelSec: ph.ModelSec,
+			})
+		}
+	}
+	return acc
+}
+
 // state is one immutable (graph, scores) snapshot. Installed whole under
 // the engine lock; never written after installation. The adjacency CSR and
 // its transpose are built exactly once per snapshot and shared by the
 // affected-source probes, the pivot re-runs, and the next apply's
 // old-side bookkeeping.
 type state struct {
-	g       *graph.Graph
-	a       *sparse.CSR[float64] // adjacency of g
-	at      *sparse.CSR[float64] // transpose of a (reverse-graph adjacency)
-	bc      []float64
-	version uint64 // graph.Fingerprint(g)
-	seq     uint64 // applies since engine creation
-	sampled bool   // bc holds sampled estimates, not exact scores
-	plan    string // representative plan of the latest distributed run
-	comm    CommStats
+	g        *graph.Graph
+	a        *sparse.CSR[float64] // adjacency of g
+	at       *sparse.CSR[float64] // transpose of a (reverse-graph adjacency)
+	bc       []float64
+	version  uint64 // graph.Fingerprint(g)
+	seq      uint64 // applies since engine creation
+	sampled  bool   // bc holds sampled estimates, not exact scores
+	errBound float64
+	plan     string // representative plan of the latest distributed run
+	comm     CommStats
+	phases   []PhaseComm // per-phase breakdown of the latest apply's regions
 }
 
 func newState(g *graph.Graph, seq uint64) *state {
@@ -191,21 +241,35 @@ type Stats struct {
 	LogBaseVersion   uint64    `json:"log_base_version"`
 	Comm             CommStats `json:"comm"` // cumulative modeled communication (distributed mode)
 	LastPlan         string    `json:"last_plan,omitempty"`
+	// FusedApplies counts incremental applies that ran as one fused
+	// machine region; TwoRegionApplies counts those on the legacy path
+	// (NoFuse, DistRebuild, or a vertex-set change).
+	FusedApplies     int64 `json:"fused_applies"`
+	TwoRegionApplies int64 `json:"two_region_applies"`
+	// OperandEvictions is the cumulative stationary-working-set evictions
+	// of the session's bounded per-rank operand caches (Config.CacheSets).
+	OperandEvictions int64 `json:"operand_evictions"`
 }
 
 // Report describes one applied batch.
 type Report struct {
-	Seq      uint64        `json:"seq"`     // snapshot sequence number after the apply
-	Version  uint64        `json:"version"` // structural fingerprint after the apply
-	Applied  int           `json:"applied"` // mutations in the batch
-	Affected int           `json:"affected_sources"`
-	Strategy Strategy      `json:"strategy"`
-	Sampled  bool          `json:"sampled"` // scores are estimates after this apply
+	Seq      uint64   `json:"seq"`     // snapshot sequence number after the apply
+	Version  uint64   `json:"version"` // structural fingerprint after the apply
+	Applied  int      `json:"applied"` // mutations in the batch
+	Affected int      `json:"affected_sources"`
+	Strategy Strategy `json:"strategy"`
+	Sampled  bool     `json:"sampled"` // scores are estimates after this apply
+	// ErrBound is the Hoeffding-style 95% half-width of sampled estimates
+	// (0 on exact applies): |estimate − exact| ≤ ErrBound per vertex with
+	// ≥ 95% confidence under the Bader-style uniform-source estimator.
+	ErrBound float64       `json:"err_bound,omitempty"`
 	N        int           `json:"n"`
 	M        int           `json:"m"`
 	Procs    int           `json:"procs,omitempty"` // simulated processors (distributed mode)
 	Plan     string        `json:"plan,omitempty"`  // representative plan of this apply's runs
+	Fused    bool          `json:"fused,omitempty"` // this apply ran as one fused machine region
 	Comm     CommStats     `json:"comm"`            // modeled communication of this apply
+	Phases   []PhaseComm   `json:"phases,omitempty"`
 	Wall     time.Duration `json:"-"`
 }
 
@@ -217,8 +281,13 @@ type Snapshot struct {
 	Version uint64
 	Seq     uint64
 	Sampled bool
-	Plan    string    // representative plan of the latest distributed run
-	Comm    CommStats // cumulative modeled communication through this snapshot
+	// ErrBound is the Hoeffding-style 95% half-width of the held estimates
+	// when Sampled (0 when the scores are exact): clients force an exact
+	// refresh when it exceeds their tolerance.
+	ErrBound float64
+	Plan     string      // representative plan of the latest distributed run
+	Comm     CommStats   // cumulative modeled communication through this snapshot
+	Phases   []PhaseComm // per-phase breakdown of the latest apply (shared; do not mutate)
 }
 
 // Engine maintains BC scores over an evolving graph. All methods are safe
@@ -230,11 +299,13 @@ type Engine struct {
 	applyMu sync.Mutex // serializes Apply; held across the whole compute
 	// dist is the persistent distributed session (Procs > 1). Guarded by
 	// applyMu; nil after a failed run, lazily rebuilt from the committed
-	// snapshot. applyComm/applyPlan are per-apply scratch, also under
-	// applyMu.
-	dist      *core.DistSession
-	applyComm CommStats
-	applyPlan string
+	// snapshot. applyComm/applyPlan/applyPhases are per-apply scratch,
+	// also under applyMu.
+	dist        *core.DistSession
+	evictBase   int64 // operand-cache evictions of sessions since dropped
+	applyComm   CommStats
+	applyPlan   string
+	applyPhases []PhaseComm
 
 	mu             sync.RWMutex
 	cur            *state
@@ -295,6 +366,7 @@ func (e *Engine) distOpts() core.DistOptions {
 	return core.DistOptions{
 		Procs: e.cfg.Procs, Workers: e.cfg.Workers, Batch: e.cfg.Batch,
 		Plan: e.cfg.Plan, Constraint: e.cfg.Constraint, Model: e.cfg.Model,
+		CacheSets: e.cfg.CacheSets,
 	}
 }
 
@@ -319,13 +391,15 @@ func (e *Engine) Snapshot() Snapshot {
 	st := e.cur
 	e.mu.RUnlock()
 	return Snapshot{
-		Graph:   st.g,
-		BC:      append([]float64(nil), st.bc...),
-		Version: st.version,
-		Seq:     st.seq,
-		Sampled: st.sampled,
-		Plan:    st.plan,
-		Comm:    st.comm,
+		Graph:    st.g,
+		BC:       append([]float64(nil), st.bc...),
+		Version:  st.version,
+		Seq:      st.seq,
+		Sampled:  st.sampled,
+		ErrBound: st.errBound,
+		Plan:     st.plan,
+		Comm:     st.comm,
+		Phases:   st.phases,
 	}
 }
 
@@ -406,10 +480,12 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 	diffs := batchDiff(old.g, newG, batch)
 	e.applyComm = CommStats{}
 	e.applyPlan = ""
+	e.applyPhases = nil
 
 	var (
 		strategy Strategy
 		affected []int32
+		fused    bool
 	)
 	useDist := e.cfg.Procs > 1
 	// advance moves the resident distributed operands to the post-batch
@@ -458,6 +534,7 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 			return Report{}, err
 		}
 		st.bc = bc
+		st.errBound = sampleErrBound(newG.N, e.cfg.SampleBudget)
 		strategy, st.sampled = StrategySampled, true
 	case old.sampled:
 		// Incremental deltas need an exact base; with only estimates to
@@ -476,7 +553,18 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 				return Report{}, err
 			}
 		} else {
-			bc, err := e.incrementalScores(old, st, affected, advance)
+			var bc []float64
+			var err error
+			// With no affected sources there is nothing to sweep: the
+			// legacy path advances the operands host-side and runs zero
+			// regions, which a fused region (diff scatter + full splice +
+			// empty sweep + O(n) reduce) would only make more expensive.
+			if e.fuseEligible(old, newG) && len(affected) > 0 {
+				bc, err = e.fusedIncrementalScores(old, st, affected, diffs)
+				fused = err == nil
+			} else {
+				bc, err = e.incrementalScores(old, st, affected, advance)
+			}
 			if err != nil {
 				return Report{}, err
 			}
@@ -491,11 +579,13 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 	if st.plan == "" {
 		st.plan = old.plan // no run this apply (e.g. a structural no-op batch)
 	}
+	st.phases = e.applyPhases
 	rep := Report{
 		Seq: st.seq, Version: st.version, Applied: len(batch),
 		Affected: len(affected), Strategy: strategy, Sampled: st.sampled,
-		N: newG.N, M: newG.M(), Procs: e.cfg.Procs,
-		Plan: e.applyPlan, Comm: e.applyComm, Wall: time.Since(start),
+		ErrBound: st.errBound, N: newG.N, M: newG.M(), Procs: e.cfg.Procs,
+		Plan: e.applyPlan, Fused: fused, Comm: e.applyComm,
+		Phases: e.applyPhases, Wall: time.Since(start),
 	}
 	if !useDist {
 		rep.Procs = 0
@@ -525,12 +615,30 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 		e.stats.AffectedSources += int64(len(affected))
 		e.stats.LastAffected = len(affected)
 	}
+	if strategy == StrategyIncremental && useDist {
+		if fused {
+			e.stats.FusedApplies++
+		} else {
+			e.stats.TwoRegionApplies++
+		}
+	}
 	e.stats.Comm.add(e.applyComm)
 	if e.applyPlan != "" {
 		e.stats.LastPlan = e.applyPlan
 	}
+	if e.dist != nil {
+		e.stats.OperandEvictions = e.evictBase + e.dist.CacheEvictions()
+	}
 	e.mu.Unlock()
 	return rep, nil
+}
+
+// fuseEligible reports whether this incremental apply can run as one fused
+// machine region: distributed mode, fusion not ablated away, and a fixed
+// vertex set (vertex growth changes the operand dimensions, which the
+// resident pair lift cannot express).
+func (e *Engine) fuseEligible(old *state, newG *graph.Graph) bool {
+	return e.cfg.Procs > 1 && !e.cfg.DistRebuild && !e.cfg.NoFuse && newG.N == old.g.N
 }
 
 // session returns the live distributed session, rebuilding it on the given
@@ -546,6 +654,17 @@ func (e *Engine) session(st *state) (*core.DistSession, error) {
 	return e.dist, nil
 }
 
+// dropSession discards the distributed session after a failed run (its
+// resident operands may be mid-transition), folding its eviction count
+// into the engine's base so Stats.OperandEvictions stays monotone across
+// session rebuilds.
+func (e *Engine) dropSession() {
+	if e.dist != nil {
+		e.evictBase += e.dist.CacheEvictions()
+		e.dist = nil
+	}
+}
+
 // distRun executes one machine region over the session's resident
 // topology, folding its modeled cost into the apply's communication. On
 // error the session is dropped so the next apply rebuilds it from the
@@ -553,12 +672,64 @@ func (e *Engine) session(st *state) (*core.DistSession, error) {
 func (e *Engine) distRun(sources []int32) ([]float64, error) {
 	r, err := e.dist.Run(sources)
 	if err != nil {
-		e.dist = nil
+		e.dropSession()
 		return nil, fmt.Errorf("dynamic: distributed run: %w", err)
 	}
 	e.applyComm.add(commOf(r.Stats))
 	e.applyPlan = r.Plan.String()
+	e.applyPhases = mergePhases(e.applyPhases, r.Stats.Phases)
 	return r.BC, nil
+}
+
+// fusedIncrementalScores merges the batch's delta through one fused
+// machine region: core.DistSession.ApplyIncremental computes both sides'
+// pivot re-runs simultaneously over the pair semiring, patching the
+// resident operands mid-region (diff scattered as a modeled collective,
+// splice charged as local γ-flops), so the latency term is paid once. The
+// arithmetic — subtract the old-side partials, add the new-side partials —
+// is the exact operation sequence of the two-region path, and the side
+// partials themselves are bit-identical to it under a fixed plan.
+func (e *Engine) fusedIncrementalScores(old, st *state, affected []int32, diffs []edgeDiff) ([]float64, error) {
+	sess, err := e.session(old)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.ApplyIncremental(affected, st.g, st.a, coreDiffs(diffs), affected)
+	if err != nil {
+		// The resident operands may be mid-transition; rebuild from the
+		// committed snapshot on the next apply.
+		e.dropSession()
+		return nil, fmt.Errorf("dynamic: fused apply: %w", err)
+	}
+	e.applyComm.add(commOf(res.Stats))
+	e.applyPlan = res.Plan.String()
+	e.applyPhases = mergePhases(e.applyPhases, res.Stats.Phases)
+
+	bc := make([]float64, st.g.N)
+	copy(bc, old.bc)
+	for v := 0; v < old.g.N; v++ {
+		bc[v] -= res.OldBC[v]
+	}
+	for v := range bc {
+		bc[v] += res.NewBC[v]
+	}
+	clampResidue(bc)
+	return bc, nil
+}
+
+// sampleErrBound is the Hoeffding-style 95% half-width of the Bader-style
+// estimator with k uniform source samples on n vertices: each per-source
+// dependency contribution lies in [0, n−2], so the scaled estimate
+// n·mean(X) deviates from the exact score by at most
+// n·(n−2)·sqrt(ln(2/0.05)/(2k)) per vertex with probability ≥ 95%. Loose
+// (it ignores variance), but honest and monotone in the budget — exactly
+// what a client needs to decide when to force an exact refresh.
+func sampleErrBound(n, k int) float64 {
+	if k <= 0 || n < 3 {
+		return 0
+	}
+	rng := float64(n - 2)
+	return float64(n) * rng * math.Sqrt(math.Log(2/0.05)/(2*float64(k)))
 }
 
 // incrementalScores merges the batch's delta into the maintained vector:
@@ -621,15 +792,20 @@ func (e *Engine) incrementalScores(old, st *state, affected []int32, advance fun
 			}
 		}
 	}
+	clampResidue(bc)
+	return bc, nil
+}
+
+// clampResidue zeroes tiny negative residue: subtracting recomputed old
+// contributions from the running vector can leave −1e-12-scale values at
+// mathematically zero scores; large negatives would mean a bookkeeping bug
+// and are left visible.
+func clampResidue(bc []float64) {
 	for v := range bc {
-		// Subtracting recomputed old contributions from the running vector
-		// can leave −1e-12-scale residue at mathematically zero scores; large
-		// negatives would mean a bookkeeping bug and are left visible.
 		if bc[v] < 0 && bc[v] > -1e-6 {
 			bc[v] = 0
 		}
 	}
-	return bc, nil
 }
 
 // fullExact recomputes exact scores with the snapshot's cached operands:

@@ -483,7 +483,11 @@ func TestDistributedIncrementalMatchesFromScratch(t *testing.T) {
 // moves strictly fewer modeled bytes in total.
 func TestDeltaPatchMatchesRebuild(t *testing.T) {
 	g := graph.Grid2D(6, 6, 8, 3)
-	patched, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1})
+	// NoFuse keeps the patched engine on the two-region path: this
+	// differential pins operand patching against full redistribution, so
+	// both engines must execute the same region structure (the fused path
+	// has its own differential, TestFusedEngineMatchesTwoRegionEngine).
+	patched, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1, NoFuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -709,5 +713,306 @@ func TestLogRecordsAndCompacts(t *testing.T) {
 	}
 	if graph.Fingerprint(replayed) != eng.Snapshot().Version {
 		t.Fatal("compacted log replay does not reproduce the engine graph")
+	}
+}
+
+// TestFusedEngineMatchesTwoRegionEngine is the fused-apply differential at
+// engine level: under a forced plan, a fused engine and a NoFuse
+// (two-region) engine replaying the same mutation stream must hold
+// bit-identical scores after every prefix, while every fused incremental
+// apply spends strictly fewer modeled messages (the latency term paid once
+// instead of twice). Under automatic planning scores agree to tolerance.
+func TestFusedEngineMatchesTwoRegionEngine(t *testing.T) {
+	plan := spgemm.Plan{P1: 1, P2: 2, P3: 2, X: spgemm.RoleA, YZ: spgemm.VarBC}
+	for _, tc := range []struct {
+		name string
+		plan *spgemm.Plan
+	}{
+		{"forced-plan", &plan},
+		{"auto-plan", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := graph.Grid2D(7, 7, 1, 5)
+			wrng := rand.New(rand.NewSource(11))
+			for i := range g.Edges {
+				g.Edges[i].W = 1 + 29*wrng.Float64()
+			}
+			g.Weighted = true
+			procs := 4
+			fused, err := New(g, Config{Procs: procs, Plan: tc.plan, DirtyThreshold: -1, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := New(g, Config{Procs: procs, Plan: tc.plan, DirtyThreshold: -1, Workers: 1, NoFuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(29))
+			shadow := g.Clone()
+			sawFused := false
+			for step := 0; step < 5; step++ {
+				m := randomMutation(rng, shadow, true)
+				if m.Op == graph.OpAddVertex {
+					// Keep the stream on the fused-eligible (fixed vertex
+					// set) steps; growth has its own fallback test.
+					m = graph.Mutation{Op: graph.OpSetWeight, U: shadow.Edges[step].U, V: shadow.Edges[step].V, W: float64(2 + rng.Intn(7))}
+				}
+				if err := shadow.Apply(m); err != nil {
+					t.Fatalf("step %d: shadow: %v", step, err)
+				}
+				rf, err := fused.Apply([]graph.Mutation{m})
+				if err != nil {
+					t.Fatalf("step %d: fused: %v", step, err)
+				}
+				rl, err := legacy.Apply([]graph.Mutation{m})
+				if err != nil {
+					t.Fatalf("step %d: two-region: %v", step, err)
+				}
+				if rl.Fused {
+					t.Fatalf("step %d: NoFuse engine reported a fused apply", step)
+				}
+				sf, sl := fused.Snapshot(), legacy.Snapshot()
+				if tc.plan != nil {
+					for v := range sf.BC {
+						if sf.BC[v] != sl.BC[v] {
+							t.Fatalf("step %d: bc[%d] bit-diverged: fused %v vs two-region %v", step, v, sf.BC[v], sl.BC[v])
+						}
+					}
+				} else {
+					compareScores(t, "fused vs two-region", sf.BC, sl.BC)
+				}
+				compareScores(t, "fused vs from-scratch", sf.BC, fromScratch(t, shadow))
+				if rf.Strategy == StrategyIncremental && rf.Affected > 0 {
+					if !rf.Fused {
+						t.Fatalf("step %d: incremental distributed apply did not fuse", step)
+					}
+					sawFused = true
+					if rf.Comm.Msgs >= rl.Comm.Msgs {
+						t.Fatalf("step %d: fused apply spent %d msgs, two-region %d — fusion must cut the latency term",
+							step, rf.Comm.Msgs, rl.Comm.Msgs)
+					}
+				}
+			}
+			if !sawFused {
+				t.Fatal("stream never exercised a fused incremental apply; differential is vacuous")
+			}
+			st := fused.Stats()
+			if st.FusedApplies == 0 || st.TwoRegionApplies != 0 {
+				t.Fatalf("fused engine counters wrong: %+v", st)
+			}
+			if lst := legacy.Stats(); lst.FusedApplies != 0 || lst.TwoRegionApplies == 0 {
+				t.Fatalf("two-region engine counters wrong: %+v", lst)
+			}
+		})
+	}
+}
+
+// TestFusedApplyReportsPhases: a fused apply's report carries the
+// diff/patch/sweep/reduce attribution, and the snapshot exposes the latest
+// breakdown.
+func TestFusedApplyReportsPhases(t *testing.T) {
+	g := graph.Grid2D(6, 6, 1, 7)
+	e, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg := e.Snapshot().Graph
+	rep, err := e.Apply([]graph.Mutation{{Op: graph.OpSetWeight, U: eg.Edges[0].U, V: eg.Edges[0].V, W: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fused {
+		t.Fatalf("expected a fused apply, got %+v", rep)
+	}
+	names := map[string]bool{}
+	var msgs, bytes, flops int64
+	for _, ph := range rep.Phases {
+		names[ph.Name] = true
+		msgs += ph.Msgs
+		bytes += ph.Bytes
+		flops += ph.Flops
+	}
+	for _, want := range []string{"diff", "patch", "sweep", "reduce"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing: %+v", want, rep.Phases)
+		}
+	}
+	// Latency charges are uniform across ranks, so the phase message sums
+	// reproduce the apply total exactly; bytes and flops are per-phase
+	// critical-path maxima, which can only meet or exceed the single
+	// end-to-end critical path.
+	if msgs != rep.Comm.Msgs {
+		t.Fatalf("phase msg sum %d != apply total %d", msgs, rep.Comm.Msgs)
+	}
+	if bytes < rep.Comm.Bytes || flops < rep.Comm.Flops {
+		t.Fatalf("phase sums (W=%d F=%d) below apply totals %+v", bytes, flops, rep.Comm)
+	}
+	snap := e.Snapshot()
+	if len(snap.Phases) != len(rep.Phases) {
+		t.Fatalf("snapshot lost the phase breakdown: %+v", snap.Phases)
+	}
+}
+
+// TestFusedFallsBackOnVertexGrowth: an AddVertex batch changes the operand
+// dimensions, so the apply must take the legacy two-region path (session
+// reset) and still produce correct scores.
+func TestFusedFallsBackOnVertexGrowth(t *testing.T) {
+	g := graph.Grid2D(5, 5, 1, 9)
+	e, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := e.Snapshot().Graph.Clone()
+	batch := []graph.Mutation{
+		{Op: graph.OpAddVertex},
+		{Op: graph.OpAddEdge, U: 3, V: 25, W: 1},
+	}
+	if _, err := shadow.ApplyAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fused {
+		t.Fatal("vertex growth must not fuse")
+	}
+	compareScores(t, "growth apply", e.Snapshot().BC, fromScratch(t, shadow))
+	if st := e.Stats(); st.TwoRegionApplies != 1 {
+		t.Fatalf("growth apply not counted as two-region: %+v", st)
+	}
+}
+
+// TestSampledErrBound: sampled applies must report a positive Hoeffding
+// half-width that shrinks as the budget grows, and exact refreshes clear
+// it.
+func TestSampledErrBound(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(6, 8, 3))
+	small, err := New(g, Config{SampleBudget: 8, RefreshEvery: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(g, Config{SampleBudget: 32, RefreshEvery: 4, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := graph.Mutation{Op: graph.OpAddEdge, U: 1, V: 2, W: 1}
+	if _, ok := g.FindEdge(1, 2); ok {
+		m = graph.Mutation{Op: graph.OpRemoveEdge, U: 1, V: 2}
+	}
+	rs, err := small.Apply([]graph.Mutation{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.Apply([]graph.Mutation{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Strategy != StrategySampled || rb.Strategy != StrategySampled {
+		t.Fatalf("expected sampled applies, got %q and %q", rs.Strategy, rb.Strategy)
+	}
+	if rs.ErrBound <= 0 || rb.ErrBound <= 0 {
+		t.Fatalf("sampled applies must carry positive error bounds: %v, %v", rs.ErrBound, rb.ErrBound)
+	}
+	if rb.ErrBound >= rs.ErrBound {
+		t.Fatalf("a larger budget must tighten the bound: k=8 → %v, k=32 → %v", rs.ErrBound, rb.ErrBound)
+	}
+	if snap := small.Snapshot(); snap.ErrBound != rs.ErrBound {
+		t.Fatalf("snapshot bound %v != report bound %v", snap.ErrBound, rs.ErrBound)
+	}
+	// Drive the small engine to its exact refresh (every 4th apply).
+	var last Report
+	for i := 0; i < 3; i++ {
+		mm := randomMutation(rand.New(rand.NewSource(int64(40+i))), small.Snapshot().Graph, false)
+		if mm.Op == graph.OpAddVertex {
+			mm = graph.Mutation{Op: graph.OpAddEdge, U: 0, V: int32(10 + i), W: 1}
+			if _, ok := small.Snapshot().Graph.FindEdge(0, int32(10+i)); ok {
+				mm = graph.Mutation{Op: graph.OpRemoveEdge, U: 0, V: int32(10 + i)}
+			}
+		}
+		var err error
+		last, err = small.Apply([]graph.Mutation{mm})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Strategy != StrategyFull {
+		t.Fatalf("4th apply should be the exact refresh, got %q", last.Strategy)
+	}
+	if last.ErrBound != 0 || small.Snapshot().ErrBound != 0 {
+		t.Fatal("exact refresh must clear the error bound")
+	}
+}
+
+// TestOperandCacheBoundEvicts: a CacheSets bound on a plan-forced stream
+// that alternates decompositions must record evictions in the stats.
+func TestOperandCacheBoundEvicts(t *testing.T) {
+	g := graph.Grid2D(6, 6, 1, 13)
+	e, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1, CacheSets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate forced plans is not expressible per apply; instead rely on
+	// the automatic search across differently sized re-run batches plus
+	// the full sweep to stage more than one (plan, dims) working set per
+	// matrix. The bound of 1 then forces evictions on the second distinct
+	// plan.
+	shadow := e.Snapshot().Graph.Clone()
+	rng := rand.New(rand.NewSource(31))
+	for step := 0; step < 6; step++ {
+		m := randomMutation(rng, shadow, true)
+		if m.Op == graph.OpAddVertex {
+			m = graph.Mutation{Op: graph.OpSetWeight, U: shadow.Edges[step].U, V: shadow.Edges[step].V, W: float64(2 + step)}
+		}
+		if err := shadow.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Apply([]graph.Mutation{m}); err != nil {
+			t.Fatal(err)
+		}
+		compareScores(t, "bounded-cache stream", e.Snapshot().BC, fromScratch(t, shadow))
+	}
+	if st := e.Stats(); st.OperandEvictions == 0 {
+		t.Fatalf("bounded cache never evicted on a multi-plan stream: %+v", st)
+	}
+}
+
+// TestFusedNoopAndEmptyAffectedSkipRegions: a structural no-op batch (and
+// any batch with no affected sources) must not launch a fused region on a
+// distributed engine — no modeled communication, no fused flag, and the
+// snapshot keeps the last real plan instead of a zero-value one.
+func TestFusedNoopAndEmptyAffectedSkipRegions(t *testing.T) {
+	g := graph.Grid2D(5, 5, 1, 3)
+	e, err := New(g, Config{Procs: 4, DirtyThreshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planBefore := e.Snapshot().Plan
+	if planBefore == "" {
+		t.Fatal("initial distributed compute must record a plan")
+	}
+	var u, v int32 = 0, 7
+	if _, ok := g.FindEdge(u, v); ok {
+		t.Fatal("test edge unexpectedly present")
+	}
+	rep, err := e.Apply([]graph.Mutation{
+		{Op: graph.OpAddEdge, U: u, V: v, W: 1},
+		{Op: graph.OpRemoveEdge, U: u, V: v}, // transient: effective diff empty
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fused {
+		t.Fatalf("no-op batch reported fused: %+v", rep)
+	}
+	if rep.Comm.Runs != 0 || rep.Comm.Msgs != 0 {
+		t.Fatalf("no-op batch ran a machine region: %+v", rep.Comm)
+	}
+	snap := e.Snapshot()
+	if snap.Plan != planBefore {
+		t.Fatalf("no-op apply clobbered the plan: %q -> %q", planBefore, snap.Plan)
+	}
+	if st := e.Stats(); st.FusedApplies != 0 {
+		t.Fatalf("no-op batch counted as a fused apply: %+v", st)
 	}
 }

@@ -50,6 +50,11 @@ func (c Cost) Add(o Cost) Cost {
 	return Cost{Bytes: c.Bytes + o.Bytes, Msgs: c.Msgs + o.Msgs, Flops: c.Flops + o.Flops}
 }
 
+// Sub returns c − o componentwise (the cost accrued since the mark o).
+func (c Cost) Sub(o Cost) Cost {
+	return Cost{Bytes: c.Bytes - o.Bytes, Msgs: c.Msgs - o.Msgs, Flops: c.Flops - o.Flops}
+}
+
 // Max returns the componentwise maximum, the critical-path join.
 func (c Cost) Max(o Cost) Cost {
 	if o.Bytes > c.Bytes {
@@ -120,6 +125,94 @@ type RunStats struct {
 	Wall     time.Duration // host wall-clock time of the region
 	ModelSec float64       // MaxCost.Time(model)
 	CommSec  float64       // MaxCost.CommTime(model)
+	// Phases attributes the region's cost to the named phases the region
+	// body declared with Proc.Phase, in first-declaration order. Empty when
+	// the body never called Phase. Per processor, the phase costs sum
+	// exactly to the processor's PerProc total.
+	Phases []PhaseStats
+}
+
+// PhaseStats is one named phase's share of a region's cost.
+type PhaseStats struct {
+	Name     string
+	MaxCost  Cost   // componentwise max over processors within this phase
+	PerProc  []Cost // this phase's cost on each processor
+	ModelSec float64
+	CommSec  float64
+}
+
+// Phase attributes all cost accrued from this call until the next Phase
+// call (or the end of the region) to the named phase. A region that never
+// calls Phase reports no phase breakdown; one that does should name its
+// first phase before any collective so every cost lands in a named bucket
+// (unattributed cost is reported under ""). Phases may repeat: re-entering
+// a name accumulates into the same bucket. Phase sequences may differ
+// across processors (it is rank-local bookkeeping, not a collective).
+func (p *Proc) Phase(name string) {
+	if name == p.phaseName {
+		return
+	}
+	p.closePhase()
+	p.phaseName = name
+	p.phaseMark = p.cost
+}
+
+// closePhase folds the open segment into its named bucket.
+func (p *Proc) closePhase() {
+	seg := p.cost.Sub(p.phaseMark)
+	if p.phaseName == "" && seg == (Cost{}) && len(p.phaseSeq) == 0 {
+		return // nothing attributed and no phases declared
+	}
+	for i, n := range p.phaseSeq {
+		if n == p.phaseName {
+			p.phaseCost[i] = p.phaseCost[i].Add(seg)
+			return
+		}
+	}
+	p.phaseSeq = append(p.phaseSeq, p.phaseName)
+	p.phaseCost = append(p.phaseCost, seg)
+}
+
+// phaseStats merges the per-proc phase buckets into the run's breakdown:
+// names ordered by first declaration scanning ranks in order, costs joined
+// componentwise. Returns nil when no processor declared a phase.
+func phaseStats(m *Machine, procs []*Proc) []PhaseStats {
+	named := false
+	for _, p := range procs {
+		if len(p.phaseSeq) > 1 || (len(p.phaseSeq) == 1 && p.phaseSeq[0] != "") {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return nil
+	}
+	var order []string
+	index := make(map[string]int)
+	for _, p := range procs {
+		for _, n := range p.phaseSeq {
+			if _, ok := index[n]; !ok {
+				index[n] = len(order)
+				order = append(order, n)
+			}
+		}
+	}
+	out := make([]PhaseStats, len(order))
+	for i, n := range order {
+		ps := PhaseStats{Name: n, PerProc: make([]Cost, len(procs))}
+		for r, p := range procs {
+			for k, pn := range p.phaseSeq {
+				if pn == n {
+					ps.PerProc[r] = p.phaseCost[k]
+					ps.MaxCost = ps.MaxCost.Max(p.phaseCost[k])
+				}
+			}
+		}
+		ps.ModelSec = ps.MaxCost.Time(m.Model)
+		ps.CommSec = ps.MaxCost.CommTime(m.Model)
+		out[i] = ps
+	}
+	return out
 }
 
 // Run executes fn on every processor concurrently and reports critical-path
@@ -152,9 +245,11 @@ func (m *Machine) Run(fn func(p *Proc)) (RunStats, error) {
 	wg.Wait()
 	stats := RunStats{Wall: time.Since(start), PerProc: make([]Cost, m.P)}
 	for r, p := range procs {
+		p.closePhase()
 		stats.PerProc[r] = p.cost
 		stats.MaxCost = stats.MaxCost.Max(p.cost)
 	}
+	stats.Phases = phaseStats(m, procs)
 	stats.ModelSec = stats.MaxCost.Time(m.Model)
 	stats.CommSec = stats.MaxCost.CommTime(m.Model)
 	m.failMu.Lock()
@@ -169,6 +264,13 @@ type Proc struct {
 	machine *Machine
 	world   *Comm
 	cost    Cost
+
+	// Phase-attribution bookkeeping: the open segment's name and the cost
+	// vector at its start, plus the closed buckets in declaration order.
+	phaseName string
+	phaseMark Cost
+	phaseSeq  []string
+	phaseCost []Cost
 }
 
 // Rank returns the processor's world rank.

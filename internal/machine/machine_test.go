@@ -332,3 +332,82 @@ func TestCostTimeConversions(t *testing.T) {
 		t.Fatal("add wrong")
 	}
 }
+
+func TestRunPhaseAttribution(t *testing.T) {
+	m := New(4)
+	stats, err := m.Run(func(pr *Proc) {
+		pr.Phase("stage")
+		Bcast(pr.World(), 0, []int{1, 2, 3})
+		pr.AddFlops(100)
+		pr.Phase("sweep")
+		Allreduce(pr.World(), []float64{1, 2}, func(a, b float64) float64 { return a + b })
+		pr.Phase("stage") // re-entering accumulates into the same bucket
+		pr.AddFlops(50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Phases) != 2 {
+		t.Fatalf("want 2 phases, got %+v", stats.Phases)
+	}
+	if stats.Phases[0].Name != "stage" || stats.Phases[1].Name != "sweep" {
+		t.Fatalf("phase order wrong: %q, %q", stats.Phases[0].Name, stats.Phases[1].Name)
+	}
+	// Per processor, phase costs must sum exactly to the run total.
+	for r, total := range stats.PerProc {
+		var sum Cost
+		for _, ph := range stats.Phases {
+			sum = sum.Add(ph.PerProc[r])
+		}
+		if sum != total {
+			t.Fatalf("rank %d: phase sum %v != total %v", r, sum, total)
+		}
+	}
+	// This workload is symmetric, so the phase maxima also sum to the run
+	// maximum (the same processor is critical in every phase).
+	var sum Cost
+	for _, ph := range stats.Phases {
+		sum = sum.Add(ph.MaxCost)
+	}
+	if sum != stats.MaxCost {
+		t.Fatalf("phase max sum %v != run max %v", sum, stats.MaxCost)
+	}
+	if stats.Phases[0].PerProc[0].Flops != 150 {
+		t.Fatalf("re-entered phase must accumulate: got %d flops", stats.Phases[0].PerProc[0].Flops)
+	}
+	if stats.Phases[0].MaxCost.Msgs == 0 || stats.Phases[1].MaxCost.Msgs == 0 {
+		t.Fatal("both phases moved data; msgs must be attributed to each")
+	}
+}
+
+func TestRunWithoutPhasesReportsNone(t *testing.T) {
+	m := New(2)
+	stats, err := m.Run(func(pr *Proc) {
+		Barrier(pr.World())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Phases != nil {
+		t.Fatalf("no Phase calls must mean no breakdown, got %+v", stats.Phases)
+	}
+}
+
+func TestRunPhasePrelude(t *testing.T) {
+	// Cost accrued before the first Phase call lands in the "" bucket.
+	m := New(2)
+	stats, err := m.Run(func(pr *Proc) {
+		Barrier(pr.World())
+		pr.Phase("late")
+		pr.AddFlops(7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Phases) != 2 || stats.Phases[0].Name != "" || stats.Phases[1].Name != "late" {
+		t.Fatalf("want [\"\", late], got %+v", stats.Phases)
+	}
+	if stats.Phases[1].MaxCost.Flops != 7 {
+		t.Fatalf("late phase flops = %d, want 7", stats.Phases[1].MaxCost.Flops)
+	}
+}

@@ -460,3 +460,63 @@ func TestHTTPMutateRoute(t *testing.T) {
 		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestMutateFusedPhasesAndStats: an incremental distributed PATCH runs as
+// one fused machine region — the response carries the fused flag and the
+// diff/patch/sweep/reduce phase attribution, and /stats aggregates fused
+// applies and operand-cache evictions across engines.
+func TestMutateFusedPhasesAndStats(t *testing.T) {
+	s := New(Config{Workers: 1, DynProcs: 2, DirtyThreshold: -1, DynCacheSets: 4})
+	g := repro.GridGraph(5, 5, 3, 7)
+	if _, err := s.AddGraph("g", g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Mutate("g", []repro.Mutation{
+		{Op: repro.MutSetWeight, U: g.Edges[3].U, V: g.Edges[3].V, W: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "incremental" || !res.Fused {
+		t.Fatalf("expected a fused incremental apply, got %+v", res)
+	}
+	names := map[string]bool{}
+	for _, ph := range res.Phases {
+		names[ph.Name] = true
+	}
+	for _, want := range []string{"diff", "patch", "sweep", "reduce"} {
+		if !names[want] {
+			t.Fatalf("PATCH response missing phase %q: %+v", want, res.Phases)
+		}
+	}
+	if st := s.Stats(); st.FusedApplies != 1 {
+		t.Fatalf("stats must count the fused apply: %+v", st)
+	}
+}
+
+// TestMutateSampledErrBound: a server configured for sampled mode
+// (DynSampleBudget) attaches the Hoeffding half-width to the PATCH
+// response, and sampled snapshots are never warm-seeded into the exact
+// result cache.
+func TestMutateSampledErrBound(t *testing.T) {
+	s := New(Config{Workers: 1, DynSampleBudget: 6, DynRefreshEvery: 99})
+	g := repro.GridGraph(6, 6, 1, 9)
+	if _, err := s.AddGraph("g", g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Mutate("g", []repro.Mutation{
+		{Op: repro.MutSetWeight, U: g.Edges[0].U, V: g.Edges[0].V, W: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "sampled" || !res.Sampled {
+		t.Fatalf("expected a sampled PATCH, got %+v", res)
+	}
+	if res.ErrBound <= 0 {
+		t.Fatalf("sampled PATCH must carry a positive err_bound: %+v", res)
+	}
+	if st := s.Stats(); st.WarmSeeds != 0 {
+		t.Fatalf("sampled snapshots must not warm-seed the exact cache: %+v", st)
+	}
+}

@@ -60,6 +60,18 @@ type Config struct {
 	// operands resident and delta-patched across PATCHes, and the PATCH
 	// response carries the modeled communication and plan.
 	DynProcs int
+	// DynCacheSets bounds each simulated rank's stationary-operand cache
+	// (distributed dynamic mode) to this many working sets per matrix,
+	// LRU-evicted across (plan, dims) keys; ≤ 0 keeps caches unbounded.
+	// Cumulative evictions appear in Stats.OperandEvictions (/stats).
+	DynCacheSets int
+	// DynSampleBudget > 0 runs each graph's dynamic engine in sampled
+	// mode: PATCHes estimate from this many source samples (with exact
+	// refreshes every DynRefreshEvery batches; 0 = library default) and
+	// the response carries the Hoeffding half-width as err_bound. Sampled
+	// snapshots are never warm-seeded into the exact result cache.
+	DynSampleBudget int
+	DynRefreshEvery int
 	// LogCompactAt bounds each engine's mutation log (0 = library default
 	// 4096, negative = unmanaged); LogTruncate switches over-bound
 	// handling from compaction to snapshot+truncate, so long-lived servers
@@ -77,12 +89,15 @@ const seedTopKLen = 64
 
 // Server is the query service. All methods are safe for concurrent use.
 type Server struct {
-	workers      int
-	cacheSize    int
-	dirty        float64
-	dynProcs     int
-	logCompactAt int
-	logTruncate  bool
+	workers         int
+	cacheSize       int
+	dirty           float64
+	dynProcs        int
+	dynCacheSets    int
+	dynSampleBudget int
+	dynRefreshEvery int
+	logCompactAt    int
+	logTruncate     bool
 
 	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
 	// replaceable by tests to observe or stall computations.
@@ -146,6 +161,13 @@ type Stats struct {
 	WarmSeedsNormalized  int64 `json:"warm_seeds_normalized"`
 	WarmSeedsDistributed int64 `json:"warm_seeds_distributed"`
 	WarmSeedsTopK        int64 `json:"warm_seeds_topk"`
+	// Dynamic-engine aggregates across all registered graphs: incremental
+	// applies that ran as one fused machine region vs. the legacy
+	// two-region path, and stationary-operand cache evictions under the
+	// DynCacheSets bound.
+	FusedApplies     int64 `json:"fused_applies"`
+	TwoRegionApplies int64 `json:"two_region_applies"`
+	OperandEvictions int64 `json:"operand_evictions"`
 }
 
 // New creates a Server.
@@ -158,19 +180,22 @@ func New(cfg Config) *Server {
 		size = 0
 	}
 	return &Server{
-		workers:       cfg.Workers,
-		cacheSize:     size,
-		dirty:         cfg.DirtyThreshold,
-		dynProcs:      cfg.DynProcs,
-		logCompactAt:  cfg.LogCompactAt,
-		logTruncate:   cfg.LogTruncate,
-		computeExact:  repro.Compute,
-		computeApprox: repro.ApproximateBC,
-		graphs:        make(map[string]*graphEntry),
-		cache:         make(map[string]*list.Element),
-		lru:           list.New(),
-		flight:        make(map[string]*flightCall),
-		mutLocks:      make(map[string]*sync.Mutex),
+		workers:         cfg.Workers,
+		cacheSize:       size,
+		dirty:           cfg.DirtyThreshold,
+		dynProcs:        cfg.DynProcs,
+		dynCacheSets:    cfg.DynCacheSets,
+		dynSampleBudget: cfg.DynSampleBudget,
+		dynRefreshEvery: cfg.DynRefreshEvery,
+		logCompactAt:    cfg.LogCompactAt,
+		logTruncate:     cfg.LogTruncate,
+		computeExact:    repro.Compute,
+		computeApprox:   repro.ApproximateBC,
+		graphs:          make(map[string]*graphEntry),
+		cache:           make(map[string]*list.Element),
+		lru:             list.New(),
+		flight:          make(map[string]*flightCall),
+		mutLocks:        make(map[string]*sync.Mutex),
 	}
 }
 
@@ -285,20 +310,26 @@ type MutateRequest struct {
 // engine runs in distributed mode — the modeled communication and
 // decomposition plan of the apply's simulated-machine runs.
 type MutateResult struct {
-	Graph           string           `json:"graph"`
-	OldVersion      uint64           `json:"old_version"`
-	Version         uint64           `json:"version"`
-	Seq             uint64           `json:"seq"`
-	Applied         int              `json:"applied"`
-	AffectedSources int              `json:"affected_sources"`
-	Strategy        string           `json:"strategy"`
-	Sampled         bool             `json:"sampled"`
-	N               int              `json:"n"`
-	M               int              `json:"m"`
-	Procs           int              `json:"procs,omitempty"`
-	Plan            string           `json:"plan,omitempty"`
-	Comm            repro.CommReport `json:"comm"`
-	ComputeMS       float64          `json:"compute_ms"`
+	Graph           string  `json:"graph"`
+	OldVersion      uint64  `json:"old_version"`
+	Version         uint64  `json:"version"`
+	Seq             uint64  `json:"seq"`
+	Applied         int     `json:"applied"`
+	AffectedSources int     `json:"affected_sources"`
+	Strategy        string  `json:"strategy"`
+	Sampled         bool    `json:"sampled"`
+	ErrBound        float64 `json:"err_bound,omitempty"` // Hoeffding 95% half-width of sampled estimates
+	N               int     `json:"n"`
+	M               int     `json:"m"`
+	Procs           int     `json:"procs,omitempty"`
+	Plan            string  `json:"plan,omitempty"`
+	// Fused marks incremental distributed applies that executed as one
+	// machine region; Phases is that region's per-phase cost attribution
+	// (diff / patch / sweep / reduce).
+	Fused     bool              `json:"fused,omitempty"`
+	Comm      repro.CommReport  `json:"comm"`
+	Phases    []repro.PhaseComm `json:"phases,omitempty"`
+	ComputeMS float64           `json:"compute_ms"`
 }
 
 // mutLockFor returns the per-graph mutation serializer, creating it on
@@ -345,7 +376,8 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 		var err error
 		dyn, err = repro.NewDynamicBC(ge.g, repro.DynamicOptions{
 			Workers: s.workers, DirtyThreshold: s.dirty,
-			Procs:        s.dynProcs,
+			Procs: s.dynProcs, CacheSets: s.dynCacheSets,
+			SampleBudget: s.dynSampleBudget, RefreshEvery: s.dynRefreshEvery,
 			LogCompactAt: s.logCompactAt, LogTruncate: s.logTruncate,
 		})
 		if err != nil {
@@ -393,8 +425,9 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 	return &MutateResult{
 		Graph: name, OldVersion: oldVersion, Version: rep.Version, Seq: rep.Seq,
 		Applied: rep.Applied, AffectedSources: rep.Affected, Strategy: rep.Strategy,
-		Sampled: rep.Sampled, N: rep.N, M: rep.M,
-		Procs: rep.Procs, Plan: rep.Plan, Comm: rep.Comm,
+		Sampled: rep.Sampled, ErrBound: rep.ErrBound, N: rep.N, M: rep.M,
+		Procs: rep.Procs, Plan: rep.Plan, Fused: rep.Fused,
+		Comm: rep.Comm, Phases: rep.Phases,
 		ComputeMS: rep.WallMS,
 	}, nil
 }
@@ -495,6 +528,15 @@ func (s *Server) Stats() Stats {
 	st.Graphs = len(s.graphs)
 	st.CacheEntries = s.lru.Len()
 	st.InFlight = len(s.flight)
+	for _, ge := range s.graphs {
+		if ge.dyn == nil {
+			continue
+		}
+		ds := ge.dyn.Stats()
+		st.FusedApplies += ds.FusedApplies
+		st.TwoRegionApplies += ds.TwoRegionApplies
+		st.OperandEvictions += ds.OperandEvictions
+	}
 	return st
 }
 

@@ -40,8 +40,24 @@ type Session struct {
 // in one run is a warm hit — no redistribution, no fiber replication — in
 // the next. That extends the Theorem 5.1 once-per-run amortization across
 // the applies of an evolving-graph workload.
+//
+// With a positive maxSets the cache keeps at most that many working sets
+// per matrix, evicting the least-recently-used (plan, dims) key of that
+// matrix on overflow — a long mutation stream whose automatic plan search
+// wanders across many decompositions then sheds dead sets instead of
+// accruing them forever. Eviction order is deterministic, so bounded
+// caches stay SPMD-consistent across ranks.
 type OperandCache struct {
-	sets map[string]*cachedOperand
+	sets      map[string]*cachedOperand
+	maxSets   int // per-matrix working-set bound; ≤ 0 = unbounded
+	tick      uint64
+	evictions int64
+	// transient marks matrices whose working sets are per-region scratch
+	// (the pair lifts of a fused apply): they bypass the per-matrix bound
+	// and the eviction stat — they are dropped wholesale by DropMatrix
+	// when the region ends, so counting them would report scratch churn
+	// as stationary-cache pressure.
+	transient map[uint64]bool
 }
 
 // cachedOperand is one staged working set: the entries this rank holds
@@ -49,15 +65,127 @@ type OperandCache struct {
 // matID under plan, plus the metadata PatchStationary needs to keep the
 // set current when the matrix is edited in place.
 type cachedOperand struct {
+	key     string
 	matID   uint64
 	plan    Plan
 	k, n    int // B's dimensions
 	entries any
+	lastUse uint64
 }
 
-// NewOperandCache returns an empty stationary-operand cache.
+// NewOperandCache returns an empty, unbounded stationary-operand cache.
 func NewOperandCache() *OperandCache {
-	return &OperandCache{sets: make(map[string]*cachedOperand)}
+	return NewOperandCacheSized(0)
+}
+
+// NewOperandCacheSized returns an empty cache bounded to maxSets working
+// sets per matrix (≤ 0 = unbounded).
+func NewOperandCacheSized(maxSets int) *OperandCache {
+	return &OperandCache{sets: make(map[string]*cachedOperand), maxSets: maxSets}
+}
+
+// Evictions returns how many working sets the per-matrix LRU bound has
+// dropped over the cache's lifetime.
+func (c *OperandCache) Evictions() int64 { return c.evictions }
+
+// Len returns the number of resident working sets.
+func (c *OperandCache) Len() int { return len(c.sets) }
+
+// operandKey is the cache key of matrix id staged under plan with B
+// dimensions k×n.
+func operandKey(id uint64, plan Plan, k, n int) string {
+	return fmt.Sprintf("B:%d:%s:%dx%d", id, plan, k, n)
+}
+
+// lookup returns the cached set for key, bumping its recency.
+func (c *OperandCache) lookup(key string) (*cachedOperand, bool) {
+	co, ok := c.sets[key]
+	if ok {
+		c.tick++
+		co.lastUse = c.tick
+	}
+	return co, ok
+}
+
+// insert stores a working set, evicting the least-recently-used sets of
+// the same matrix past the per-matrix bound (transient matrices are
+// exempt; see the transient field).
+func (c *OperandCache) insert(co *cachedOperand) {
+	c.tick++
+	co.lastUse = c.tick
+	c.sets[co.key] = co
+	if c.maxSets <= 0 || c.transient[co.matID] {
+		return
+	}
+	for {
+		var victim *cachedOperand
+		count := 0
+		for _, s := range c.sets {
+			if s.matID != co.matID {
+				continue
+			}
+			count++
+			if s != co && (victim == nil || s.lastUse < victim.lastUse) {
+				victim = s
+			}
+		}
+		if count <= c.maxSets || victim == nil {
+			return
+		}
+		delete(c.sets, victim.key)
+		c.evictions++
+	}
+}
+
+// DropMatrix removes every working set of matrix id (transient operands a
+// fused region staged for one apply) and clears its transient mark. Not
+// counted as LRU evictions.
+func DropMatrix(c *OperandCache, id uint64) {
+	for key, co := range c.sets {
+		if co.matID == id {
+			delete(c.sets, key)
+		}
+	}
+	delete(c.transient, id)
+}
+
+// MarkTransient flags matrix id's working sets as per-region scratch:
+// exempt from the per-matrix LRU bound and the eviction stat until
+// DropMatrix removes them.
+func MarkTransient(c *OperandCache, id uint64) {
+	if c.transient == nil {
+		c.transient = make(map[uint64]bool)
+	}
+	c.transient[id] = true
+}
+
+// PlanDims identifies one staged working set of a matrix: the plan it was
+// staged under and B's dimensions.
+type PlanDims struct {
+	Plan Plan
+	K, N int
+}
+
+// CachedPlans lists the (plan, dims) working sets resident for matrix id,
+// sorted deterministically. Because every rank executes the same multiply
+// sequence, the list is identical across the ranks of a session.
+func CachedPlans(c *OperandCache, id uint64) []PlanDims {
+	var out []PlanDims
+	for _, co := range c.sets {
+		if co.matID == id {
+			out = append(out, PlanDims{Plan: co.plan, K: co.k, N: co.n})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Plan != out[b].Plan {
+			return out[a].Plan.String() < out[b].Plan.String()
+		}
+		if out[a].K != out[b].K {
+			return out[a].K < out[b].K
+		}
+		return out[a].N < out[b].N
+	})
+	return out
 }
 
 // workers resolves the Workers knob for this rank; see the field comment.
@@ -275,10 +403,10 @@ func Multiply[TA, TB, TC any](
 	// would silently alias the cache to stale entries.
 	var bE []sparse.Entry[TB]
 	hitB := false
-	cacheKey := fmt.Sprintf("B:%d:%s:%dx%d", b.ID(), plan, k, n)
+	cacheKey := operandKey(b.ID(), plan, k, n)
 	if cacheB {
 		var co *cachedOperand
-		if co, hitB = s.cache.sets[cacheKey]; hitB {
+		if co, hitB = s.cache.lookup(cacheKey); hitB {
 			bE = co.entries.([]sparse.Entry[TB])
 		}
 	}
@@ -294,7 +422,7 @@ func Multiply[TA, TB, TC any](
 			distmat.SortEntriesParallel(bE, workers)
 		}
 		if cacheB {
-			s.cache.sets[cacheKey] = &cachedOperand{matID: b.ID(), plan: plan, k: k, n: n, entries: bE}
+			s.cache.insert(&cachedOperand{key: cacheKey, matID: b.ID(), plan: plan, k: k, n: n, entries: bE})
 		}
 	}
 
@@ -346,34 +474,24 @@ type StationaryEdit[T any] struct {
 // evolving-graph mutation stream.
 //
 // The merge rewrites the rank's local block (host-side O(local nnz), no
-// modeled communication), mirroring the generator-replication convention
-// FromGlobal uses for inputs.
-func PatchStationary[T any](c *OperandCache, rank int, id uint64, edits []StationaryEdit[T]) {
+// modeled communication; the returned operation count is what a faithful
+// region charges as local γ-flops — core's sessions defer it to the next
+// machine region or charge it inside the fused patch phase).
+func PatchStationary[T any](c *OperandCache, rank int, id uint64, edits []StationaryEdit[T]) int64 {
 	if c == nil || len(edits) == 0 {
-		return
+		return 0
 	}
+	var ops int64
 	for _, co := range c.sets {
 		if co.matID != id {
 			continue
 		}
-		// B's distribution is independent of the frontier row count m for
-		// every plan (only the k and n coordinates of a B entry are
-		// consulted), matching the cache key's omission of m; any m works.
-		_, db, _ := Dists(co.plan, 1, co.k, co.n)
-		inner := co.plan.P2 * co.plan.P3
-		fiberRepl := co.plan.P1 > 1 && co.plan.X == RoleB
+		owns := StationaryOwnership(co.plan, co.k, co.n)
 		cur := co.entries.([]sparse.Entry[T])
 		out := make([]sparse.Entry[T], 0, len(cur)+len(edits))
 		x := 0
 		for _, ed := range edits {
-			owner := db.Owner(ed.I, ed.J)
-			if fiberRepl {
-				// After replication this rank holds the union of its fiber
-				// group: every layer at the same inner grid position.
-				if owner%inner != rank%inner {
-					continue
-				}
-			} else if owner != rank {
+			if !owns(rank, ed.I, ed.J) {
 				continue
 			}
 			for x < len(cur) && (cur[x].I < ed.I || (cur[x].I == ed.I && cur[x].J < ed.J)) {
@@ -389,7 +507,105 @@ func PatchStationary[T any](c *OperandCache, rank int, id uint64, edits []Statio
 		}
 		out = append(out, cur[x:]...)
 		co.entries = out
+		ops += int64(len(out))
 	}
+	return ops
+}
+
+// StationaryOwnership returns the membership test of a staged stationary-B
+// working set under plan (with B dimensions k×n): whether a rank's set
+// holds coordinate (i, j). The plan's B distribution is hoisted once —
+// call this per (plan, dims) and reuse the closure across coordinates, as
+// the patch/stage hot paths do. Ownership is the B distribution widened to
+// the whole fiber group for plans that replicate B across layers. B's
+// distribution is independent of the frontier row count m for every plan
+// (only the k and n coordinates of a B entry are consulted), matching the
+// cache key's omission of m.
+func StationaryOwnership(plan Plan, k, n int) func(rank int, i, j int32) bool {
+	_, db, _ := Dists(plan, 1, k, n)
+	if plan.P1 > 1 && plan.X == RoleB {
+		// After replication a rank holds the union of its fiber group:
+		// every layer at the same inner grid position.
+		inner := plan.P2 * plan.P3
+		return func(rank int, i, j int32) bool { return db.Owner(i, j)%inner == rank%inner }
+	}
+	return func(rank int, i, j int32) bool { return db.Owner(i, j) == rank }
+}
+
+// OwnsStationary is StationaryOwnership for a single coordinate.
+func OwnsStationary(plan Plan, k, n, rank int, i, j int32) bool {
+	return StationaryOwnership(plan, k, n)(rank, i, j)
+}
+
+// PairSplice lifts a scalar stationary block into the pair operand of a
+// fused incremental region: each resident entry becomes {Old: w, New: w},
+// and the owned subset of the sorted new-side edits is spliced into the
+// New component — deletions mark the new side absent (∞), upserts replace
+// or insert it. The result is entry-for-entry what staging the old and
+// new matrices side by side would produce, built from resident data alone.
+func PairSplice(cur []sparse.Entry[float64], edits []StationaryEdit[float64], owned func(i, j int32) bool) []sparse.Entry[algebra.WeightPair] {
+	out := make([]sparse.Entry[algebra.WeightPair], 0, len(cur)+len(edits))
+	both := func(e sparse.Entry[float64]) sparse.Entry[algebra.WeightPair] {
+		return sparse.Entry[algebra.WeightPair]{I: e.I, J: e.J, V: algebra.WeightPair{Old: e.V, New: e.V}}
+	}
+	x := 0
+	for _, ed := range edits {
+		if !owned(ed.I, ed.J) {
+			continue
+		}
+		for x < len(cur) && (cur[x].I < ed.I || (cur[x].I == ed.I && cur[x].J < ed.J)) {
+			out = append(out, both(cur[x]))
+			x++
+		}
+		v := algebra.WeightPair{Old: algebra.Inf, New: algebra.Inf}
+		if x < len(cur) && cur[x].I == ed.I && cur[x].J == ed.J {
+			v.Old = cur[x].V
+			x++
+		}
+		if !ed.Del {
+			v.New = ed.V
+		}
+		if v.Old != algebra.Inf || v.New != algebra.Inf {
+			out = append(out, sparse.Entry[algebra.WeightPair]{I: ed.I, J: ed.J, V: v})
+		}
+	}
+	for ; x < len(cur); x++ {
+		out = append(out, both(cur[x]))
+	}
+	return out
+}
+
+// StagePairStationary registers, for every resident working set of the
+// scalar matrix srcID, a pair working set for matrix dstID under the same
+// (plan, dims) key, built by PairSplice from the resident entries and the
+// owned subset of the new-side edits. A fused region that pre-stages pairs
+// this way turns its pair multiplications into warm cache hits: no
+// redistribution, no fiber replication — only the diff moved. Returns the
+// local splice work in entry writes (the caller charges it as γ-flops).
+// Pair sets are transient; drop them after the region with DropMatrix.
+func StagePairStationary(c *OperandCache, rank int, srcID, dstID uint64, edits []StationaryEdit[float64]) int64 {
+	if c == nil {
+		return 0
+	}
+	MarkTransient(c, dstID)
+	var ops int64
+	for _, pd := range CachedPlans(c, srcID) {
+		src, ok := c.lookup(operandKey(srcID, pd.Plan, pd.K, pd.N))
+		if !ok {
+			continue
+		}
+		plan, k, n := pd.Plan, pd.K, pd.N
+		owns := StationaryOwnership(plan, k, n)
+		pair := PairSplice(src.entries.([]sparse.Entry[float64]), edits, func(i, j int32) bool {
+			return owns(rank, i, j)
+		})
+		c.insert(&cachedOperand{
+			key: operandKey(dstID, plan, k, n), matID: dstID,
+			plan: plan, k: k, n: n, entries: pair,
+		})
+		ops += int64(len(pair))
+	}
+	return ops
 }
 
 // stageBounds returns the absolute [lo, hi) bounds of stage t over the
@@ -579,7 +795,13 @@ func mulEntriesRange[TA, TB, TC any](
 		if len(buf) == 0 {
 			return
 		}
-		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
+		// Stable by j so contributions at one output coordinate fold in
+		// k-order regardless of what else shares the buffer. The fused
+		// incremental path's bit-identity to per-side scalar sweeps depends
+		// on this: pair and scalar runs fill the buffer with different
+		// entry sets, and an unstable sort could permute equal-j groups
+		// differently between them.
+		sort.SliceStable(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
 		cur := buf[0]
 		for _, p := range buf[1:] {
 			if p.j == cur.j {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/algebra"
 	"repro/internal/sparse"
 )
 
@@ -142,5 +143,222 @@ func TestPatchStationaryIgnoresOtherMatrices(t *testing.T) {
 	got := c.sets["other"].entries.([]sparse.Entry[float64])
 	if len(got) != len(before) || got[0] != before[0] || got[1] != before[1] {
 		t.Fatalf("patch for matrix 99 modified matrix 3's set: %+v", got)
+	}
+}
+
+// TestOperandCacheLRUBound: a bounded cache keeps at most maxSets working
+// sets per matrix, evicting the least recently used (plan, dims) key, and
+// leaves other matrices' sets alone.
+func TestOperandCacheLRUBound(t *testing.T) {
+	plans := []Plan{
+		{P1: 1, P2: 1, P3: 1, X: RoleA, YZ: VarAB},
+		{P1: 1, P2: 1, P3: 1, X: RoleA, YZ: VarAC},
+		{P1: 1, P2: 1, P3: 1, X: RoleA, YZ: VarBC},
+		{P1: 1, P2: 1, P3: 1, X: RoleB, YZ: VarAB},
+	}
+	c := NewOperandCacheSized(2)
+	ins := func(id uint64, plan Plan) {
+		c.insert(&cachedOperand{key: operandKey(id, plan, 4, 4), matID: id, plan: plan, k: 4, n: 4})
+	}
+	ins(1, plans[0])
+	ins(1, plans[1])
+	ins(2, plans[0]) // different matrix: its own budget
+	if _, ok := c.lookup(operandKey(1, plans[0], 4, 4)); !ok {
+		t.Fatal("set 1/plan0 must be resident (bound not yet hit); lookup also bumps its recency")
+	}
+	ins(1, plans[2]) // over budget for matrix 1: evicts plan1 (LRU; plan0 was just touched)
+	if _, ok := c.lookup(operandKey(1, plans[1], 4, 4)); ok {
+		t.Fatal("LRU set must have been evicted")
+	}
+	if _, ok := c.lookup(operandKey(1, plans[0], 4, 4)); !ok {
+		t.Fatal("recently used set must survive")
+	}
+	if _, ok := c.lookup(operandKey(2, plans[0], 4, 4)); !ok {
+		t.Fatal("other matrix's set must be untouched by matrix 1's bound")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	ins(1, plans[3])
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Evictions())
+	}
+	if got := len(CachedPlans(c, 1)); got != 2 {
+		t.Fatalf("matrix 1 holds %d sets, want 2", got)
+	}
+}
+
+// TestPairSpliceMatchesSideBySide: the pair lift of a stationary block must
+// equal the old block and the edited block staged side by side.
+func TestPairSpliceMatchesSideBySide(t *testing.T) {
+	cur := []sparse.Entry[float64]{
+		{I: 0, J: 1, V: 1.5}, {I: 0, J: 3, V: 2}, {I: 2, J: 0, V: 4}, {I: 2, J: 2, V: 8},
+	}
+	edits := []StationaryEdit[float64]{
+		{I: 0, J: 2, V: 9},      // insert: new side only
+		{I: 0, J: 3, Del: true}, // delete: old side only afterwards
+		{I: 2, J: 2, V: 5},      // reweight
+		{I: 3, J: 3, V: 7},      // insert in the tail
+		{I: 3, J: 4, Del: true}, // delete of a non-entry: no-op
+	}
+	got := PairSplice(cur, edits, func(i, j int32) bool { return true })
+	inf := func() float64 { return algebra.Inf }
+	want := []sparse.Entry[algebra.WeightPair]{
+		{I: 0, J: 1, V: algebra.WeightPair{Old: 1.5, New: 1.5}},
+		{I: 0, J: 2, V: algebra.WeightPair{Old: inf(), New: 9}},
+		{I: 0, J: 3, V: algebra.WeightPair{Old: 2, New: inf()}},
+		{I: 2, J: 0, V: algebra.WeightPair{Old: 4, New: 4}},
+		{I: 2, J: 2, V: algebra.WeightPair{Old: 8, New: 5}},
+		{I: 3, J: 3, V: algebra.WeightPair{Old: inf(), New: 7}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Ownership filter: nothing owned, nothing spliced, old entries lifted.
+	none := PairSplice(cur, edits, func(i, j int32) bool { return false })
+	if len(none) != len(cur) {
+		t.Fatalf("unowned splice must keep the lifted base block, got %d entries", len(none))
+	}
+	for i, e := range cur {
+		if none[i].V != (algebra.WeightPair{Old: e.V, New: e.V}) {
+			t.Fatalf("entry %d not lifted: %+v", i, none[i])
+		}
+	}
+}
+
+// TestStagePairStationary: pair sets registered for every cached plan of
+// the source matrix, under the destination id, equal to a PairSplice of
+// each set with its own ownership filter; DropMatrix removes them without
+// counting LRU evictions.
+func TestStagePairStationary(t *testing.T) {
+	plans := []Plan{
+		{P1: 1, P2: 2, P3: 2, X: RoleA, YZ: VarAB},
+		{P1: 2, P2: 1, P3: 2, X: RoleB, YZ: VarAC}, // fiber-replicated B
+	}
+	const k, n = 11, 13
+	rng := rand.New(rand.NewSource(4))
+	var global []sparse.Entry[float64]
+	seen := map[[2]int32]bool{}
+	for len(global) < 30 {
+		i, j := int32(rng.Intn(k)), int32(rng.Intn(n))
+		if seen[[2]int32{i, j}] {
+			continue
+		}
+		seen[[2]int32{i, j}] = true
+		global = append(global, sparse.Entry[float64]{I: i, J: j, V: 1 + rng.Float64()})
+	}
+	sortEntriesByCoord(global)
+	edits := []StationaryEdit[float64]{
+		{I: global[0].I, J: global[0].J, Del: true},
+		{I: global[4].I, J: global[4].J, V: 99},
+	}
+	sortEdits := func(es []StationaryEdit[float64]) {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && (es[j].I < es[j-1].I || (es[j].I == es[j-1].I && es[j].J < es[j-1].J)); j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+	}
+	sortEdits(edits)
+	const srcID, dstID = 5, 6
+	for _, plan := range plans {
+		for rank := 0; rank < plan.Procs(); rank++ {
+			c := NewOperandCache()
+			staged := stageForTest(plan, rank, k, n, global)
+			c.insert(&cachedOperand{
+				key: operandKey(srcID, plan, k, n), matID: srcID, plan: plan, k: k, n: n,
+				entries: staged,
+			})
+			ops := StagePairStationary(c, rank, srcID, dstID, edits)
+			co, ok := c.lookup(operandKey(dstID, plan, k, n))
+			if !ok {
+				t.Fatalf("%s rank %d: pair set not registered", plan, rank)
+			}
+			got := co.entries.([]sparse.Entry[algebra.WeightPair])
+			want := PairSplice(staged, edits, func(i, j int32) bool {
+				return OwnsStationary(plan, k, n, rank, i, j)
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s rank %d: %d pair entries, want %d", plan, rank, len(got), len(want))
+			}
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("%s rank %d entry %d: %+v vs %+v", plan, rank, x, got[x], want[x])
+				}
+			}
+			if ops != int64(len(got)) {
+				t.Fatalf("%s rank %d: reported %d ops, wrote %d entries", plan, rank, ops, len(got))
+			}
+			DropMatrix(c, dstID)
+			if _, ok := c.lookup(operandKey(dstID, plan, k, n)); ok {
+				t.Fatal("DropMatrix left the pair set resident")
+			}
+			if _, ok := c.lookup(operandKey(srcID, plan, k, n)); !ok {
+				t.Fatal("DropMatrix removed the scalar source set")
+			}
+			if c.Evictions() != 0 {
+				t.Fatal("DropMatrix must not count as LRU evictions")
+			}
+		}
+	}
+}
+
+// TestTransientPairSetsBypassLRUBound: pair working sets staged for one
+// fused region are per-apply scratch — they must neither consume the
+// per-matrix budget nor inflate the eviction stat, even on a cache bounded
+// below the staged plan count.
+func TestTransientPairSetsBypassLRUBound(t *testing.T) {
+	plans := []Plan{
+		{P1: 1, P2: 1, P3: 1, X: RoleA, YZ: VarAB},
+		{P1: 1, P2: 1, P3: 1, X: RoleA, YZ: VarAC},
+	}
+	const srcID, dstID = 8, 9
+	c := NewOperandCacheSized(1)
+	// Two scalar plans would normally exceed the bound; insert just one so
+	// the scalar side stays within budget, then stage pairs for both plans
+	// via the transient path.
+	c.insert(&cachedOperand{
+		key: operandKey(srcID, plans[0], 4, 4), matID: srcID, plan: plans[0], k: 4, n: 4,
+		entries: []sparse.Entry[float64]{{I: 0, J: 1, V: 2}},
+	})
+	c.insert(&cachedOperand{
+		key: operandKey(srcID, plans[1], 4, 4), matID: srcID, plan: plans[1], k: 4, n: 4,
+		entries: []sparse.Entry[float64]{{I: 0, J: 1, V: 2}},
+	})
+	scalarEvictions := c.Evictions() // the scalar bound did evict one set
+	StagePairStationary(c, 0, srcID, dstID, []StationaryEdit[float64]{{I: 0, J: 1, V: 3}})
+	// Staging must not have evicted anything more, and manual transient
+	// inserts (what a mid-sweep cache miss does) are exempt too.
+	c.insert(&cachedOperand{
+		key: operandKey(dstID, plans[0], 4, 4), matID: dstID, plan: plans[0], k: 4, n: 4,
+	})
+	c.insert(&cachedOperand{
+		key: operandKey(dstID, plans[1], 4, 4), matID: dstID, plan: plans[1], k: 4, n: 4,
+	})
+	if c.Evictions() != scalarEvictions {
+		t.Fatalf("transient pair sets counted as evictions: %d -> %d", scalarEvictions, c.Evictions())
+	}
+	if got := len(CachedPlans(c, dstID)); got != 2 {
+		t.Fatalf("transient sets must bypass the bound: %d resident, want 2", got)
+	}
+	DropMatrix(c, dstID)
+	if len(CachedPlans(c, dstID)) != 0 || c.Evictions() != scalarEvictions {
+		t.Fatal("DropMatrix must remove transient sets without counting evictions")
+	}
+	// After DropMatrix the id is no longer transient: a fresh insert under
+	// it obeys the bound again.
+	c.insert(&cachedOperand{
+		key: operandKey(dstID, plans[0], 4, 4), matID: dstID, plan: plans[0], k: 4, n: 4,
+	})
+	c.insert(&cachedOperand{
+		key: operandKey(dstID, plans[1], 4, 4), matID: dstID, plan: plans[1], k: 4, n: 4,
+	})
+	if c.Evictions() != scalarEvictions+1 {
+		t.Fatalf("bound not restored after DropMatrix: evictions %d", c.Evictions())
 	}
 }
