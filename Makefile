@@ -1,0 +1,51 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make check` is the pre-push bundle.
+
+GO ?= go
+BIN := bin/mfbc-lint
+
+.PHONY: all build lint lint-standalone test race bench tidy-check fmt-check check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+$(BIN): FORCE
+	$(GO) build -o $(BIN) ./cmd/mfbc-lint
+
+FORCE:
+
+## lint: run the custom determinism/concurrency analyzers through go vet
+## (cached and parallel per package).
+lint: $(BIN)
+	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
+
+## lint-standalone: same suite via the source-loading driver (no build
+## cache involved; useful when iterating on the analyzers themselves).
+lint-standalone: $(BIN)
+	./$(BIN) ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the paper's experiment driver in quick mode.
+bench:
+	$(GO) run ./cmd/mfbc-bench -exp scaling -quick
+
+tidy-check:
+	$(GO) mod tidy -diff
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+check: build fmt-check tidy-check lint test
+
+clean:
+	rm -rf bin

@@ -12,6 +12,8 @@
 // same decomposition plan). core's fused incremental path relies on this.
 package algebra
 
+import "math"
+
 // WeightPair is one edge of the fused old/new adjacency operand: the edge
 // weight on each side, with Inf marking absence on that side.
 type WeightPair struct {
@@ -117,7 +119,7 @@ func BrandesActionPair(a CentPathPair, w WeightPair) CentPathPair {
 // component, which CentPathIsZero would classify as zero but whose P could
 // still leak through a later tie; map it to the exact component zero.
 func brandesSide(a CentPath, w Weight) CentPath {
-	if CentPathIsZero(a) || w == Inf {
+	if CentPathIsZero(a) || math.IsInf(w, 1) {
 		return CentPathZero()
 	}
 	return BrandesAction(a, w)

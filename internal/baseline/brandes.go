@@ -140,6 +140,7 @@ func dijkstraAccumulate(adj [][]int32, wts [][]float64, s int32, bc []float64) {
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(pqItem)
 		u := it.v
+		//lint:allow floateq stale-heap-entry test compares a value copied bit-for-bit
 		if settled[u] || it.dist != tentative[u] {
 			continue
 		}
@@ -148,11 +149,13 @@ func dijkstraAccumulate(adj [][]int32, wts [][]float64, s int32, bc []float64) {
 		order = append(order, u)
 		for k, v := range adj[u] {
 			nd := dist[u] + wts[u][k]
+			//lint:allow floateq unset is an exact +Inf sentinel never produced by arithmetic here
 			if tentative[v] == unset || nd < tentative[v] {
 				tentative[v] = nd
 				sigma[v] = sigma[u]
 				pred[v] = append(pred[v][:0], u)
 				heap.Push(pq, pqItem{v: v, dist: nd})
+				//lint:allow floateq equal-weight shortest-path counting is exact by the Brandes contract
 			} else if nd == tentative[v] && !settled[v] {
 				sigma[v] += sigma[u]
 				pred[v] = append(pred[v], u)

@@ -198,6 +198,7 @@ func screenFrontierEntries(ext, t []sparse.Entry[algebra.MultPath]) []sparse.Ent
 		for y < len(t) && entryLess(t[y], e) {
 			y++
 		}
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if y < len(t) && t[y].I == e.I && t[y].J == e.J && t[y].V.W == e.V.W && e.V.M > 0 {
 			out = append(out, e)
 		}
@@ -214,6 +215,7 @@ func screenCentEntries(p []sparse.Entry[algebra.CentPath], t []sparse.Entry[alge
 		for y < len(t) && entryLess(t[y], e) {
 			y++
 		}
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if y < len(t) && t[y].I == e.I && t[y].J == e.J && t[y].V.W == e.V.W {
 			out = append(out, e)
 		}

@@ -264,11 +264,11 @@ func (s *DistSession) run(sources []int32, nb int) (*DistResult, error) {
 		// Deferred host-side Patch splice work is charged here, as local
 		// flops of the region that first benefits from the patched blocks.
 		if rk.pendingFlops > 0 {
-			proc.Phase("patch")
+			proc.Phase(machine.PhasePatch)
 			proc.AddFlops(rk.pendingFlops)
 			rk.pendingFlops = 0
 		}
-		proc.Phase("sweep")
+		proc.Phase(machine.PhaseSweep)
 		bc := make([]float64, g.N)
 		iters := 0
 		batches := 0
@@ -282,7 +282,7 @@ func (s *DistSession) run(sources []int32, nb int) (*DistResult, error) {
 			})
 		}
 		// One deferred dense reduction accumulates λ across processors.
-		proc.Phase("reduce")
+		proc.Phase(machine.PhaseReduce)
 		total := machine.Allreduce(world, bc, func(a, b float64) float64 { return a + b })
 		itersPer[proc.Rank()] = iters
 		bcPer[proc.Rank()] = total

@@ -125,19 +125,19 @@ func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, ne
 		sess := spgemm.NewSessionWithCache(proc, rk.cache)
 		sess.Workers = s.opt.Workers
 		if rk.pendingFlops > 0 {
-			proc.Phase("patch")
+			proc.Phase(machine.PhasePatch)
 			proc.AddFlops(rk.pendingFlops)
 			rk.pendingFlops = 0
 		}
 
 		// Receive this rank's diff share via the modeled collective.
-		proc.Phase("diff")
+		proc.Phase(machine.PhaseDiff)
 		myDiffs := machine.Scatter(world, 0, parts)
 
 		// Stage the pair operands from resident blocks + diff, and advance
 		// the scalar residents to the post-batch topology, charging the
 		// splice work as local flops.
-		proc.Phase("patch")
+		proc.Phase(machine.PhasePatch)
 		editsA := adjacencyEdits(directed, myDiffs, false)
 		editsAt := adjacencyEdits(directed, myDiffs, true)
 		aPair, atPair, ops := s.stagePairRank(rk, rank, editsA, editsAt)
@@ -145,7 +145,7 @@ func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, ne
 		proc.AddFlops(ops)
 
 		// The fused pair sweeps: both sides in lock-step.
-		proc.Phase("sweep")
+		proc.Phase(machine.PhaseSweep)
 		bcOld := make([]float64, n)
 		bcNew := make([]float64, n)
 		iters := 0
@@ -162,7 +162,7 @@ func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, ne
 		}
 
 		// One concatenated dense reduction for both sides.
-		proc.Phase("reduce")
+		proc.Phase(machine.PhaseReduce)
 		both := make([]float64, 0, 2*n)
 		both = append(both, bcOld...)
 		both = append(both, bcNew...)
@@ -399,9 +399,11 @@ func screenFrontierPair(ext, t []sparse.Entry[algebra.MultPathPair]) []sparse.En
 			continue
 		}
 		v := algebra.MultPathPairZero()
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if !algebra.MultPathIsZero(e.V.Old) && t[y].V.Old.W == e.V.Old.W && e.V.Old.M > 0 {
 			v.Old = e.V.Old
 		}
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if !algebra.MultPathIsZero(e.V.New) && t[y].V.New.W == e.V.New.W && e.V.New.M > 0 {
 			v.New = e.V.New
 		}
@@ -481,9 +483,11 @@ func screenCentPair(p []sparse.Entry[algebra.CentPathPair], t []sparse.Entry[alg
 			continue
 		}
 		v := algebra.CentPathPairZero()
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if t[y].V.Old.W == e.V.Old.W {
 			v.Old = e.V.Old
 		}
+		//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 		if t[y].V.New.W == e.V.New.W {
 			v.New = e.V.New
 		}

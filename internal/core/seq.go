@@ -108,6 +108,7 @@ func screenFrontier(ext, t *sparse.CSR[algebra.MultPath]) *sparse.CSR[algebra.Mu
 			for y < len(tc) && tc[y] < j {
 				y++
 			}
+			//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 			if y < len(tc) && tc[y] == j && ev[x].W == tv[y].W && ev[x].M > 0 {
 				out.ColIdx = append(out.ColIdx, j)
 				out.Val = append(out.Val, ev[x])
@@ -131,6 +132,7 @@ func screenCent(p *sparse.CSR[algebra.CentPath], t *sparse.CSR[algebra.MultPath]
 			for y < len(tc) && tc[y] < j {
 				y++
 			}
+			//lint:allow floateq screening requires an exact match of bit-identically replicated weights
 			if y < len(tc) && tc[y] == j && pv[x].W == tv[y].W {
 				out.ColIdx = append(out.ColIdx, j)
 				out.Val = append(out.Val, pv[x])

@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 	"time"
 
@@ -302,18 +303,18 @@ type Engine struct {
 	// snapshot. applyComm/applyPlan/applyPhases are per-apply scratch,
 	// also under applyMu.
 	dist        *core.DistSession
-	evictBase   int64 // operand-cache evictions of sessions since dropped
+	evictBase   int64 // guarded by applyMu; operand-cache evictions of sessions since dropped
 	applyComm   CommStats
 	applyPlan   string
 	applyPhases []PhaseComm
 
 	mu             sync.RWMutex
-	cur            *state
-	log            graph.MutationLog
-	logBase        *graph.Graph
-	logBaseVersion uint64
-	logTruncations int64
-	stats          Stats
+	cur            *state            // guarded by mu
+	log            graph.MutationLog // guarded by mu
+	logBase        *graph.Graph      // guarded by mu
+	logBaseVersion uint64            // guarded by mu
+	logTruncations int64             // guarded by mu
+	stats          Stats             // guarded by mu
 }
 
 // New creates an engine over g, computing the initial exact scores (on the
@@ -326,7 +327,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("dynamic: %w", err)
 	}
-	if cfg.DirtyThreshold == 0 {
+	if cfg.DirtyThreshold == 0 { //lint:allow floateq zero is the unset-config sentinel, never computed
 		cfg.DirtyThreshold = defaultDirtyThreshold
 	}
 	if cfg.RefreshEvery <= 0 {
@@ -354,11 +355,16 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	} else {
 		st.bc = e.fullExact(st)
 	}
+	// The engine is not shared yet, but publishing the initial snapshot
+	// under the lock keeps the guarded-field discipline uniform (and the
+	// happens-before edge costs nothing here).
+	e.mu.Lock()
 	e.cur = st
 	e.logBase = own
 	e.logBaseVersion = st.version
 	e.stats.Comm = st.comm
 	e.stats.LastPlan = st.plan
+	e.mu.Unlock()
 	return e, nil
 }
 
@@ -657,7 +663,7 @@ func (e *Engine) session(st *state) (*core.DistSession, error) {
 // dropSession discards the distributed session after a failed run (its
 // resident operands may be mid-transition), folding its eviction count
 // into the engine's base so Stats.OperandEvictions stays monotone across
-// session rebuilds.
+// session rebuilds. Caller holds e.applyMu.
 func (e *Engine) dropSession() {
 	if e.dist != nil {
 		e.evictBase += e.dist.CacheEvictions()
@@ -915,6 +921,7 @@ func batchDiff(oldG, newG *graph.Graph, batch []graph.Mutation) []edgeDiff {
 		d := edgeDiff{u: u, v: v}
 		d.wOld, d.inOld = oldG.FindEdge(u, v)
 		d.wNew, d.inNew = newG.FindEdge(u, v)
+		//lint:allow floateq no-op edit detection compares stored weights bit-for-bit, not arithmetic results
 		if d.inOld == d.inNew && (!d.inOld || d.wOld == d.wNew) {
 			continue // transient or no-op
 		}
@@ -971,6 +978,9 @@ func endpointSet(diffs []edgeDiff, want func(edgeDiff) bool) []int32 {
 	for e := range set {
 		out = append(out, e)
 	}
+	// The endpoints index the multi-source probe sweeps; a map-ordered
+	// list would make the probe layout differ run to run.
+	slices.Sort(out)
 	return out
 }
 

@@ -134,7 +134,7 @@ func (g *Graph) AddEdge(u, v int32, w float64) error {
 	if err := g.checkEndpoints(OpAddEdge, u, v); err != nil {
 		return err
 	}
-	if w == 0 {
+	if w == 0 { //lint:allow floateq zero is the default-weight sentinel, never computed
 		w = 1
 	}
 	if err := checkWeight(OpAddEdge, w); err != nil {
@@ -149,7 +149,7 @@ func (g *Graph) AddEdge(u, v int32, w float64) error {
 	g.Edges = append(g.Edges, Edge{})
 	copy(g.Edges[i+1:], g.Edges[i:])
 	g.Edges[i] = Edge{U: u, V: v, W: w}
-	if w != 1 {
+	if w != 1 { //lint:allow floateq stored weight compared bit-for-bit to decide the Weighted flag
 		g.Weighted = true
 	}
 	return nil
@@ -186,7 +186,7 @@ func (g *Graph) SetWeight(u, v int32, w float64) error {
 		return fmt.Errorf("graph %q: set_weight: no edge (%d,%d)", g.Name, u, v)
 	}
 	g.Edges[i].W = w
-	if w != 1 {
+	if w != 1 { //lint:allow floateq stored weight compared bit-for-bit to decide the Weighted flag
 		g.Weighted = true
 	}
 	return nil

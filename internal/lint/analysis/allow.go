@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The exemption syntax understood by the suite:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the same line as the finding or on its own line
+// immediately above. The reason is mandatory: an exemption without a
+// recorded why is indistinguishable from a silenced bug.
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+type allowSet struct {
+	set  map[allowKey]bool
+	used map[allowKey]bool
+}
+
+// collectAllows indexes every well-formed //lint:allow comment by file,
+// line, and analyzer name.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	as := &allowSet{set: make(map[allowKey]bool), used: make(map[allowKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				as.set[allowKey{file: pos.Filename, line: pos.Line, name: name}] = true
+			}
+		}
+	}
+	return as
+}
+
+// parseAllow extracts the analyzer name from an allow comment, requiring a
+// non-empty reason after it.
+func parseAllow(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "//lint:allow ")
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(body)
+	if len(fields) < 2 { // name + at least one reason word
+		return "", false
+	}
+	return fields[0], true
+}
+
+// allowed reports whether a finding of analyzer name at pos is exempted:
+// an allow comment sits on the finding's line or the line above.
+func (as *allowSet) allowed(pos token.Position, name string) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		k := allowKey{file: pos.Filename, line: line, name: name}
+		if as.set[k] {
+			as.used[k] = true
+			return true
+		}
+	}
+	return false
+}

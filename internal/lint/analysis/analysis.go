@@ -1,0 +1,105 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis framework: just enough surface (Analyzer, Pass, Diagnostic)
+// for this repository's custom analyzers, drivers, and fixture tests.
+//
+// The real x/tools module is the natural home for this API, but the build
+// environment this repo targets is fully offline (no module proxy, empty
+// module cache), so the dependency cannot be added with a committed
+// go.sum. The API below is deliberately shaped like go/analysis so that
+// the analyzers port mechanically if/when x/tools becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow annotations. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks and
+	// why the invariant matters.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The suite's
+// analyzers enforce invariants of production code; test files are exempt
+// across the board (they deliberately construct off-registry phase names,
+// exact float comparisons against golden values, and so on).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run applies analyzers to one type-checked package and returns the
+// surviving diagnostics sorted by position: findings suppressed by a
+// //lint:allow annotation (see Allowed) are dropped, and findings in
+// _test.go files are dropped driver-wide.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := collectAllows(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diagnostics {
+			if pass.IsTestFile(d.Pos) {
+				continue
+			}
+			if allow.allowed(fset.Position(d.Pos), a.Name) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

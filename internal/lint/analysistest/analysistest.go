@@ -1,0 +1,156 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := 1.0
+//	if x == y { // want `float64 equality`
+//
+// A line may carry several quoted regexps; every diagnostic on a line must
+// match one expectation on that line and every expectation must be
+// matched. Lines suppressed by //lint:allow must therefore carry no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run analyzes each fixture package under dir/src and reports mismatches
+// as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr.FixtureRoot = dir + "/src"
+	for _, path := range pkgs {
+		pkg, err := ldr.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		for _, e := range pkg.Errs {
+			t.Errorf("fixture %s does not type-check: %v", path, e)
+		}
+		if len(pkg.Errs) > 0 {
+			continue
+		}
+		diags, err := analysis.Run(ldr.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, ldr.Fset, path, pkg, diags)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check matches diagnostics against the fixture's want comments.
+func check(t *testing.T, fset *token.FileSet, path string, pkg *loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", pos, err)
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], res...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic in %s: [%s] %s", pos, path, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of a // want comment.
+func parseWants(text string) ([]*want, error) {
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*want
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			break
+		}
+		var raw string
+		switch body[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(body); i++ {
+				if body[i] == '\\' {
+					i++
+					continue
+				}
+				if body[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", body)
+			}
+			var err error
+			raw, err = strconv.Unquote(body[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", body[:end+1], err)
+			}
+			body = body[end+1:]
+		case '`':
+			end := strings.IndexByte(body[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", body)
+			}
+			raw = body[1 : end+1]
+			body = body[end+2:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted: %q", body)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", raw, err)
+		}
+		out = append(out, &want{re: re})
+	}
+	return out, nil
+}

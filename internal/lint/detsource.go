@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetSource flags nondeterminism sources inside the model/kernel packages
+// (internal/{core,spgemm,sparse,distmat,algebra,machine}), where any
+// run-to-run variation invalidates differential replay: wall-clock reads
+// (time.Now), the globally seeded math/rand source, and map-range loops
+// whose iteration order selects the result (a break, a return, or an
+// assignment of the range variables to loop-external state).
+var DetSource = &analysis.Analyzer{
+	Name: "detsource",
+	Doc: "flags time.Now, global math/rand, and map-order-dependent " +
+		"selection in model/kernel packages",
+	Run: runDetSource,
+}
+
+// detScopePackages are the package basenames whose determinism feeds the
+// differential harness.
+var detScopePackages = map[string]bool{
+	"core": true, "spgemm": true, "sparse": true,
+	"distmat": true, "algebra": true, "machine": true,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// explicitly seeded local generators and are therefore deterministic.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetSource(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !detScopePackages[path[strings.LastIndex(path, "/")+1:]] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, node)
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(node.X)
+				if t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapSelection(pass, node)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Report(call.Pos(),
+				"time.Now in a model/kernel package: wall-clock reads vary run to run and invalidate differential replay; thread timestamps in from the caller")
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil { // methods on an explicit *rand.Rand are fine
+			return
+		}
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in a model/kernel package uses a process-global source; use rand.New(rand.NewSource(seed)) with an explicit seed", fn.Name())
+		}
+	}
+}
+
+// checkMapSelection flags map-range bodies whose control flow or writes
+// let the (randomized) iteration order pick the result.
+func checkMapSelection(pass *analysis.Pass, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	rangeVars := make(map[types.Object]bool)
+	keyVars := make(map[types.Object]bool)
+	for i, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				rangeVars[obj] = true
+				if i == 0 {
+					keyVars[obj] = true
+				}
+			}
+		}
+	}
+	mentionsKeyVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && keyVars[info.ObjectOf(id)] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	mentionsRangeVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && rangeVars[info.ObjectOf(id)] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+
+	// walk visits the loop body; inNested is true once we are inside a
+	// nested loop/switch/select, where an unlabeled break no longer
+	// terminates the map range.
+	var walk func(n ast.Node, inNested bool)
+	walk = func(n ast.Node, inNested bool) {
+		if n == nil {
+			return
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return // deferred execution; not this loop's control flow
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			inNested = true
+		case *ast.BranchStmt:
+			if st.Tok == token.BREAK && st.Label == nil && !inNested {
+				pass.Report(st.Pos(),
+					"break inside range over map selects the first element in (randomized) map iteration order; iterate sorted keys")
+			}
+			return
+		case *ast.ReturnStmt:
+			pass.Report(st.Pos(),
+				"return inside range over map selects a result in (randomized) map iteration order; iterate sorted keys")
+			return
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id := rootIdent(lhs)
+				if id == nil || !declaredOutside(info, id, rng) {
+					continue
+				}
+				// A store keyed by the map key (hist[k] = v) writes a
+				// distinct slot per iteration — order-insensitive, since
+				// map keys are unique.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && mentionsKeyVar(ix.Index) {
+					continue
+				}
+				// x = append(x, …) is accumulation, not selection; order
+				// sensitivity of accumulation is maprangefold's domain.
+				// Selection keeps one element (a scalar overwrite).
+				if i < len(st.Rhs) {
+					if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+						continue
+					}
+				}
+				for _, rhs := range st.Rhs {
+					if mentionsRangeVar(rhs) {
+						pass.Reportf(st.Pos(),
+							"assignment of map-range variable into %s makes the kept element depend on (randomized) map iteration order; iterate sorted keys", types.ExprString(lhs))
+						return
+					}
+				}
+			}
+		}
+		nested := inNested
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, nested)
+			return false
+		})
+	}
+	for _, st := range rng.Body.List {
+		walk(st, false)
+	}
+}

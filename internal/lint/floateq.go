@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatEq flags == and != between floating-point operands (including
+// structs with float components) outside _test.go files. Exact float
+// comparison in a kernel silently narrows "equal" to "bit-identical",
+// which is correct only for sentinel values; the codebase's sanctioned
+// spellings are math.IsInf for sentinels and tolerance helpers for real
+// comparisons. Registered-exempt closures — IsZero semiring callbacks and
+// functions whose name ends in IsZero, whose contract is precisely
+// identity-element bit-equality — are not flagged.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between float64 expressions outside tests and " +
+		"IsZero semiring callbacks",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		exempt := exemptRanges(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if exempt.contains(be.Pos()) {
+				return true
+			}
+			tx, ty := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !typeHasFloat(tx.Type) && !typeHasFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded comparison, deterministic
+			}
+			pass.Reportf(be.Pos(),
+				"float %s compares exact bits; use math.IsInf for sentinels or a tolerance helper, or annotate //lint:allow floateq <reason> if bit-exactness is intended",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// posRanges is a set of source intervals.
+type posRanges [][2]token.Pos
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, iv := range r {
+		if p >= iv[0] && p < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptRanges collects the registered-exempt function bodies of a file:
+// functions named *IsZero, and function literals bound to an IsZero field
+// of a composite literal (the semiring Monoid construction sites).
+func exemptRanges(f *ast.File) posRanges {
+	var out posRanges
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if strings.HasSuffix(d.Name.Name, "IsZero") && d.Body != nil {
+				out = append(out, [2]token.Pos{d.Body.Pos(), d.Body.End()})
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := d.Key.(*ast.Ident); ok && key.Name == "IsZero" {
+				if lit, ok := d.Value.(*ast.FuncLit); ok {
+					out = append(out, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

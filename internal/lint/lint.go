@@ -1,0 +1,109 @@
+// Package lint hosts the mfbc-lint analyzers: custom static checks that
+// mechanically enforce this repository's determinism and concurrency
+// invariants (bit-identical differential pinning, SPMD-consistent machine
+// regions, lock discipline, canonical phase attribution).
+//
+// Every analyzer supports the exemption annotation
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the finding's line or the line immediately above; the reason is
+// mandatory. Test files (_test.go) are exempt from all analyzers.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MapRangeFold,
+		FloatEq,
+		LockScope,
+		PhaseNames,
+		DetSource,
+	}
+}
+
+// calleeFunc resolves the called function/method of a call expression,
+// or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isMachinePackage reports whether a package path is the machine-model
+// package (repro/internal/machine, or a fixture package named machine).
+func isMachinePackage(path string) bool {
+	return path == "machine" || strings.HasSuffix(path, "/machine")
+}
+
+// typeHasFloat reports whether a type transitively contains a
+// floating-point component (through structs and arrays, not pointers).
+func typeHasFloat(t types.Type) bool {
+	return typeHasFloatRec(t, make(map[types.Type]bool))
+}
+
+func typeHasFloatRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasFloatRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeHasFloatRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain
+// (x, x.f, x[i].f, (*x).f → x), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the identifier resolves to a variable
+// declared outside the [pos, end) node span (i.e. loop-external state).
+func declaredOutside(info *types.Info, id *ast.Ident, node ast.Node) bool {
+	obj := info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < node.Pos() || v.Pos() >= node.End()
+}

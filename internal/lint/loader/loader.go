@@ -1,0 +1,260 @@
+// Package loader type-checks Go packages from source for the mfbc-lint
+// standalone driver and the analyzer fixture tests.
+//
+// The environment this repo builds in has no module proxy and no
+// pre-compiled export data, so the loader resolves imports itself: module
+// packages ("repro/...") from the module tree, fixture packages from an
+// optional GOPATH-style fixture root, and everything else from GOROOT
+// source via go/build. Dependency packages are checked with function
+// bodies ignored — only their exported API is needed — which keeps a full
+// ./... load within a few seconds.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds type-checking errors. Dependency packages tolerate
+	// errors (their API usually still resolves); drivers must refuse to
+	// trust analysis of a target package that has any.
+	Errs []error
+}
+
+// Loader loads and caches packages.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod; ModulePath is the
+	// declared module path ("repro").
+	ModuleRoot string
+	ModulePath string
+	// FixtureRoot, when set, resolves import paths that are neither
+	// module-local nor standard as FixtureRoot/<path> (the GOPATH-style
+	// layout of analyzer testdata).
+	FixtureRoot string
+
+	ctxt    build.Context
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// New returns a loader rooted at the given module directory.
+func New(moduleRoot string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false // pure-Go stdlib variants type-check from source
+	ctxt.GOPATH = ""
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		ModulePath: modPath,
+		ctxt:       ctxt,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module directive in %s", gomod)
+}
+
+// ModulePackages lists the import paths of every package in the module,
+// sorted — the loader-side equivalent of the ./... pattern. testdata and
+// hidden directories are skipped, as the go tool does.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.ModuleRoot, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, l.ModulePath)
+				} else {
+					out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Load returns the type-checked package at the given import path, loading
+// it (and its dependencies) on first use. Analysis targets should be
+// loaded with full function bodies via this method; dependencies reached
+// through imports are checked API-only.
+func (l *Loader) Load(path string) (*Package, error) {
+	return l.load(path, false)
+}
+
+// Import implements types.Importer for dependency resolution.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path, true)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *Loader) load(path string, depOnly bool) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, files, err := l.sources(path)
+	if err != nil {
+		return nil, err
+	}
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", path, err)
+		}
+		parsed = append(parsed, f)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: parsed}
+	cfg := &types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		// Module-local and fixture packages are always fully checked:
+		// one may be loaded first as a dependency and later become an
+		// analysis target, and the cache must not pin an API-only copy.
+		IgnoreFuncBodies: depOnly && !l.isLocal(path),
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error:            func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Check returns the (possibly incomplete) package even on error;
+	// errors are already collected on pkg.Errs.
+	tpkg, _ := cfg.Check(path, l.Fset, parsed, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// isLocal reports whether path is module-local or a fixture package.
+func (l *Loader) isLocal(path string) bool {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return true
+	}
+	if l.FixtureRoot != "" {
+		if st, err := os.Stat(filepath.Join(l.FixtureRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// sources resolves an import path to a directory and its buildable
+// non-test Go files.
+func (l *Loader) sources(path string) (string, []string, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		return l.dirSources(path, dir)
+	}
+	if l.FixtureRoot != "" {
+		dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return l.dirSources(path, dir)
+		}
+	}
+	bp, err := l.ctxt.Import(path, l.ModuleRoot, 0)
+	if err != nil {
+		return "", nil, fmt.Errorf("loader: resolving %q: %w", path, err)
+	}
+	return bp.Dir, bp.GoFiles, nil
+}
+
+func (l *Loader) dirSources(path, dir string) (string, []string, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return "", nil, fmt.Errorf("loader: resolving %q in %s: %w", path, dir, err)
+	}
+	return dir, bp.GoFiles, nil
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapRangeFold flags `for … range` over a map whose body does
+// order-sensitive work: accumulating into a float declared outside the
+// loop (float addition is not associative, so fold order changes bits),
+// appending to a slice declared outside the loop (output order follows map
+// iteration order, which Go randomizes), or issuing machine-model calls
+// (collective sequences must be identical across ranks and runs). The
+// sanctioned idiom is to collect the keys, sort them, and iterate the
+// sorted keys; accordingly, an append that collects map keys into a slice
+// that is visibly sorted later in the same function is not flagged. Float
+// folds and machine calls have no such escape — rewrite them over sorted
+// keys, or annotate //lint:allow maprangefold <reason>.
+var MapRangeFold = &analysis.Analyzer{
+	Name: "maprangefold",
+	Doc: "flags map-range loops that fold floats, append to outer slices, " +
+		"or issue machine-model calls in map iteration order",
+	Run: runMapRangeFold,
+}
+
+func runMapRangeFold(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node // all open nodes, to find the enclosing function
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// open-node stack, or nil at file scope.
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch d := stack[i].(type) {
+		case *ast.FuncDecl:
+			return d.Body
+		case *ast.FuncLit:
+			return d.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether a recognized sort call on expression want
+// (by source rendering) appears after pos within the enclosing function
+// body — the second half of the collect-keys/sort/iterate idiom, which
+// legitimizes an append-in-map-range collection loop.
+func sortedAfter(info *types.Info, encl ast.Node, pos token.Pos, want string) bool {
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		name := fn.Name()
+		isSort := (pkg == "sort" || pkg == "slices") &&
+			(strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice") ||
+				name == "Strings" || name == "Ints" || name == "Float64s")
+		if !isSort {
+			return true
+		}
+		if types.ExprString(ast.Unparen(call.Args[0])) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rng *ast.RangeStmt, encl ast.Node) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := st.Lhs[0]
+				if typeHasFloat(info.TypeOf(lhs)) {
+					if id := rootIdent(lhs); id != nil && declaredOutside(info, id, rng) {
+						pass.Reportf(st.Pos(),
+							"floating-point accumulation into %s inside range over map: fold order follows map iteration order and changes result bits; iterate sorted keys",
+							types.ExprString(lhs))
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				checkFoldAndAppend(pass, rng, encl, st)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, st); fn != nil && fn.Pkg() != nil && isMachinePackage(fn.Pkg().Path()) {
+				pass.Reportf(st.Pos(),
+					"machine-model call %s inside range over map: collective order would follow map iteration order and desynchronize ranks; iterate sorted keys",
+					fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkFoldAndAppend handles plain assignments in a map-range body:
+// x = x + e float folds, and v = append(v, …) into an outer slice.
+func checkFoldAndAppend(pass *analysis.Pass, rng *ast.RangeStmt, encl ast.Node, st *ast.AssignStmt) {
+	info := pass.TypesInfo
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		rhs := ast.Unparen(st.Rhs[i])
+		id := rootIdent(lhs)
+		if id == nil || !declaredOutside(info, id, rng) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+			// Collecting keys and sorting afterwards is the sanctioned
+			// idiom's first half; a sort on the collected slice after the
+			// loop legitimizes the append.
+			if sortedAfter(info, encl, rng.End(), types.ExprString(lhs)) {
+				continue
+			}
+			pass.Reportf(st.Pos(),
+				"append into %s inside range over map and never sorted after: output order follows map iteration order; sort the collected slice or iterate sorted keys",
+				types.ExprString(lhs))
+			continue
+		}
+		// x = x ⊕ e and x = f(x, …) float folds.
+		if typeHasFloat(info.TypeOf(lhs)) && mentionsExpr(rhs, types.ExprString(lhs)) {
+			pass.Reportf(st.Pos(),
+				"floating-point fold of %s inside range over map: fold order follows map iteration order and changes result bits; iterate sorted keys",
+				types.ExprString(lhs))
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// mentionsExpr reports whether some subexpression of e renders to want.
+func mentionsExpr(e ast.Expr, want string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sub, ok := n.(ast.Expr); ok && types.ExprString(sub) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

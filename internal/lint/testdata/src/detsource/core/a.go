@@ -1,0 +1,74 @@
+// Fixtures for the detsource analyzer. The directory basename "core" puts
+// this package in the model/kernel determinism scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a model/kernel package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10) // methods on an explicitly seeded local source: clean
+}
+
+func selectByBreak(m map[string]int) string {
+	var pick string
+	for k := range m {
+		pick = k // want `assignment of map-range variable into pick`
+		break    // want `break inside range over map`
+	}
+	return pick
+}
+
+func selectByReturn(m map[string]int) int {
+	for _, v := range m {
+		return v // want `return inside range over map`
+	}
+	return 0
+}
+
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // accumulation, not selection: clean
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func nestedBreak(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break // unlabeled break of the inner loop only: clean
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func orderInsensitiveWrites(m map[int]int, hist []int) {
+	for k, v := range m {
+		hist[k] = v // keyed store, no selection among elements: clean
+	}
+}
+
+func allowed(m map[string]int) int {
+	for _, v := range m {
+		//lint:allow detsource any element serves equally as the probe seed here
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+// Fixtures for the floateq analyzer: exact float comparisons outside the
+// registered-exempt IsZero forms.
+package floateq
+
+type path struct {
+	W float64
+	M int
+}
+
+func cmpEq(a, b float64) bool {
+	return a == b // want `float == compares exact bits`
+}
+
+func cmpNeq(a, b float64) bool {
+	return a != b // want `float != compares exact bits`
+}
+
+func cmpStruct(a, b path) bool {
+	return a == b // want `float == compares exact bits`
+}
+
+func cmpMixed(a float64, b int) bool {
+	return a == float64(b) // want `float == compares exact bits`
+}
+
+func cmpInt(a, b int) bool {
+	return a == b // integer equality is exact: clean
+}
+
+func cmpConst() bool {
+	const x = 1.5
+	const y = 2.5
+	return x == y // constant-folded: clean
+}
+
+// WeightIsZero is registered-exempt by name: identity-element tests are
+// bit-equality by contract.
+func WeightIsZero(x float64) bool {
+	return x == 0
+}
+
+type monoid struct {
+	IsZero func(path) bool
+}
+
+func newMonoid() monoid {
+	return monoid{
+		IsZero: func(x path) bool { return x.W == 0 && x.M == 0 }, // exempt closure: clean
+	}
+}
+
+func allowed(a, b float64) bool {
+	return a == b //lint:allow floateq fixture demonstrates an annotated exemption
+}
+
+func missingReason(a, b float64) bool {
+	//lint:allow floateq
+	return a == b // want `float == compares exact bits`
+}

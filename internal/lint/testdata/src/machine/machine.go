@@ -1,0 +1,17 @@
+// Package machine is a fixture stand-in for the repository's
+// machine-model package: the analyzers match it by package basename, so
+// fixtures can exercise machine-call and Proc.Phase checks without
+// importing the real module.
+package machine
+
+// Proc mimics the machine-model rank handle.
+type Proc struct{}
+
+// Phase mimics per-phase cost attribution.
+func (p *Proc) Phase(name string) {}
+
+// Send mimics a machine-model point-to-point call.
+func (p *Proc) Send(rank int, bytes int64) {}
+
+// Barrier mimics a package-level machine-model collective.
+func Barrier() {}

@@ -1,0 +1,93 @@
+// Fixtures for the maprangefold analyzer: order-sensitive work inside
+// range-over-map bodies.
+package maprangefold
+
+import (
+	"sort"
+
+	"machine"
+)
+
+func floatFoldCompound(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func floatFoldPlain(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point fold of total`
+	}
+	return total
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append into out inside range over map and never sorted`
+	}
+	return out
+}
+
+func appendSortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // collect-and-sort idiom: clean
+	}
+	sort.Strings(out)
+	return out
+}
+
+func machineCalls(m map[string]int, p *machine.Proc) {
+	for range m {
+		machine.Barrier() // want `machine-model call Barrier`
+	}
+	for _, v := range m {
+		p.Send(v, 1) // want `machine-model call Send`
+	}
+}
+
+func sortedKeysIdiom(m map[string]float64, p *machine.Proc) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+		p.Send(0, 1)
+	}
+	return sum
+}
+
+func allowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow maprangefold fixture demonstrates an annotated exemption
+	}
+	return sum
+}
+
+func intFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation is exact in any order: clean
+	}
+	return n
+}
+
+func loopLocal(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v // fold into a loop-local: clean
+		}
+		_ = s
+	}
+	return out
+}

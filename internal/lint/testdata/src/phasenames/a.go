@@ -1,0 +1,34 @@
+// Fixtures for the phasenames analyzer: Proc.Phase arguments are checked
+// against the real registry in repro/internal/machine, while the Proc
+// receiver comes from the fixture machine package (matched by basename).
+package phasenames
+
+import "machine"
+
+const sweep = "sweep"
+
+func canonical(p *machine.Proc) {
+	p.Phase("sweep")
+	p.Phase(sweep) // named constant with a canonical value: clean
+	p.Phase("patch")
+}
+
+func offRegistry(p *machine.Proc) {
+	p.Phase("Sweep") // want `not in the canonical phase registry`
+}
+
+func dynamic(p *machine.Proc, name string) {
+	p.Phase(name) // want `must be a string constant`
+}
+
+func computed(p *machine.Proc, i int) {
+	p.Phase("sweep" + string(rune('0'+i))) // want `must be a string constant`
+}
+
+func allowed(p *machine.Proc) {
+	p.Phase("warmup") //lint:allow phasenames fixture demonstrates an annotated exemption
+}
+
+func notTheMachinePhase(s interface{ Phase(int) }) {
+	s.Phase(3) // different Phase method, not the machine package: clean
+}

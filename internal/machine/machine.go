@@ -222,7 +222,7 @@ func (m *Machine) Run(fn func(p *Proc)) (RunStats, error) {
 	world := newCommState(m, m.P)
 	procs := make([]*Proc, m.P)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //lint:allow detsource wall-clock run stat only; never feeds the cost model
 	for r := 0; r < m.P; r++ {
 		p := &Proc{rank: r, machine: m}
 		p.world = &Comm{state: world, rank: r, proc: p}

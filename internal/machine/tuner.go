@@ -40,7 +40,7 @@ const tuneN = 1 << 16
 func timePerOp(kernel func(rng *rand.Rand) int64) float64 {
 	rng := rand.New(rand.NewSource(99))
 	var ops int64
-	start := time.Now()
+	start := time.Now() //lint:allow detsource wall-clock calibration budget only; tuned constants come from op counts
 	for time.Since(start) < 2*time.Millisecond {
 		ops += kernel(rng)
 	}
@@ -84,6 +84,7 @@ func productKernel(rng *rand.Rand) int64 {
 	for i := 0; i < tuneN; i++ {
 		j := (i * 31) & (tuneN - 1)
 		v := w[i] + w[j]
+		//lint:allow floateq synthetic calibration kernel mimics the monoid's exact sentinel test
 		if v < acc[j] || acc[j] == 0 {
 			acc[j] = v
 		}
@@ -106,6 +107,7 @@ func foldKernel(rng *rand.Rand) int64 {
 		switch {
 		case x.w < cur.w:
 			cur = x
+		//lint:allow floateq synthetic calibration kernel mimics the monoid's exact tie fold
 		case x.w == cur.w:
 			cur.m += x.m
 		}

@@ -105,12 +105,12 @@ type Server struct {
 	computeApprox func(*repro.Graph, int, int64, repro.Options) (*repro.Result, error)
 
 	mu       sync.Mutex
-	graphs   map[string]*graphEntry
-	cache    map[string]*list.Element // cache key → element of lru
-	lru      *list.List               // front = most recently used *cacheEntry
-	flight   map[string]*flightCall   // cache key → in-flight computation
-	mutLocks map[string]*sync.Mutex   // graph name → mutation serializer
-	stats    Stats
+	graphs   map[string]*graphEntry   // guarded by mu
+	cache    map[string]*list.Element // guarded by mu; cache key → element of lru
+	lru      *list.List               // guarded by mu; front = most recently used *cacheEntry
+	flight   map[string]*flightCall   // guarded by mu; cache key → in-flight computation
+	mutLocks map[string]*sync.Mutex   // guarded by mu; graph name → mutation serializer
+	stats    Stats                    // guarded by mu
 }
 
 type graphEntry struct {
@@ -287,6 +287,7 @@ func (s *Server) putCacheLocked(ce *cacheEntry) {
 }
 
 // purgeLocked drops every cache entry belonging to the named graph.
+// Caller holds s.mu.
 func (s *Server) purgeLocked(name string) {
 	for el := s.lru.Front(); el != nil; {
 		next := el.Next()

@@ -2,6 +2,7 @@ package spgemm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -118,13 +119,21 @@ func (c *OperandCache) insert(co *cachedOperand) {
 		return
 	}
 	for {
+		keys := make([]string, 0, len(c.sets))
+		for key := range c.sets {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
 		var victim *cachedOperand
 		count := 0
-		for _, s := range c.sets {
+		for _, key := range keys {
+			s := c.sets[key]
 			if s.matID != co.matID {
 				continue
 			}
 			count++
+			// lastUse ticks are unique, so the minimum is unambiguous; the
+			// sorted key order pins the walk (and any future tie) anyway.
 			if s != co && (victim == nil || s.lastUse < victim.lastUse) {
 				victim = s
 			}
@@ -565,7 +574,7 @@ func PairSplice(cur []sparse.Entry[float64], edits []StationaryEdit[float64], ow
 		if !ed.Del {
 			v.New = ed.V
 		}
-		if v.Old != algebra.Inf || v.New != algebra.Inf {
+		if !math.IsInf(v.Old, 1) || !math.IsInf(v.New, 1) {
 			out = append(out, sparse.Entry[algebra.WeightPair]{I: ed.I, J: ed.J, V: v})
 		}
 	}

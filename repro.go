@@ -198,7 +198,9 @@ type topkHeap struct {
 
 func (h *topkHeap) Len() int { return len(h.v) }
 func (h *topkHeap) Less(i, j int) bool {
-	if h.bc[i] != h.bc[j] {
+	// Exact tie detection is the point: ties fall through to the vertex
+	// index so the heap order is a deterministic total order.
+	if h.bc[i] != h.bc[j] { //lint:allow floateq exact tie-break of a deterministic total order
 		return h.bc[i] < h.bc[j]
 	}
 	return h.v[i] > h.v[j]
@@ -237,6 +239,7 @@ func TopK(bc []float64, k int) []int {
 		}
 		// Keep i only if it beats the current worst: higher score, or equal
 		// score with lower index.
+		//lint:allow floateq exact tie-break of a deterministic total order
 		if x > h.bc[0] || (x == h.bc[0] && i < h.v[0]) {
 			h.v[0], h.bc[0] = i, x
 			heap.Fix(h, 0)
