@@ -4,7 +4,7 @@
 GO ?= go
 BIN := bin/mfbc-lint
 
-.PHONY: all build lint lint-standalone test race bench tidy-check fmt-check check clean
+.PHONY: all build lint lint-standalone test race bench load-quick tidy-check fmt-check check clean
 
 all: build
 
@@ -35,6 +35,11 @@ race:
 ## bench: the paper's experiment driver in quick mode.
 bench:
 	$(GO) run ./cmd/mfbc-bench -exp scaling -quick
+
+## load-quick: in-process saturation sweep of the query service (the CI
+## load check; writes bench points in the mfbc-bench JSON schema).
+load-quick:
+	$(GO) run ./cmd/mfbc-load -quick -json BENCH_load_quick.json
 
 tidy-check:
 	$(GO) mod tidy -diff

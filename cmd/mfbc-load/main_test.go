@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestParsers(t *testing.T) {
+	graphs, err := parseGraphs("a=grid:4x5x3,b=uniform:30x90,c=rmat:5x4", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 3 || graphs[0].N() != 20 || graphs[1].N() != 30 {
+		t.Fatalf("graphs = %+v", graphs)
+	}
+	for _, bad := range []string{"", "noeq", "g=grid:4", "g=torus:4x4", "g=grid:axb"} {
+		if _, err := parseGraphs(bad, 1); err == nil {
+			t.Fatalf("-graphs %q must be rejected", bad)
+		}
+	}
+
+	cohorts, err := parseCohorts("r=topk:4,w=mutate:1", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohorts) != 2 || cohorts[0].Name != "r" || cohorts[1].Kind != "mutate" {
+		t.Fatalf("cohorts = %+v", cohorts)
+	}
+	def, err := parseCohorts("default", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 3 {
+		t.Fatalf("default cohorts = %+v", def)
+	}
+	for _, bad := range []string{"", "noeq", "x=topk:abc"} {
+		if _, err := parseCohorts(bad, 1.5); err == nil {
+			t.Fatalf("-cohorts %q must be rejected", bad)
+		}
+	}
+
+	rates, err := parseRates("10, 20,40")
+	if err != nil || len(rates) != 3 {
+		t.Fatalf("rates = %v, %v", rates, err)
+	}
+	if _, err := parseRates("10,x"); err == nil {
+		t.Fatal("bad -rates must be rejected")
+	}
+}
+
+// TestQuickSweepEmitsJSON drives the CI entry point end to end: the quick
+// preset (extended with headroom rates so even a fast machine saturates)
+// must complete, report per-cohort throughput and latency percentiles,
+// find a knee, and emit parseable bench points in the mfbc-bench schema.
+func TestQuickSweepEmitsJSON(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "points.json")
+	cfg, err := parseFlags([]string{"-quick", "-json", jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headroom: the sweep stops at the first saturated step, so faster
+	// machines walk further up instead of finishing without a knee.
+	cfg.rates += ",3240,9720,29160"
+
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "knee: ") {
+		t.Fatalf("quick sweep found no knee:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []bench.Point
+	if err := json.Unmarshal(raw, &points); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no bench points written")
+	}
+	cohortRows := map[string]int{}
+	kneeRows, saturatedAgg := 0, 0
+	for _, p := range points {
+		if p.Experiment != "load-sweep" || p.Engine != "server" {
+			t.Fatalf("point mislabeled: %+v", p)
+		}
+		if p.Requests == 0 || !(p.AchievedRPS > 0) {
+			t.Fatalf("point carries no traffic: %+v", p)
+		}
+		if !(p.P50MS > 0) || p.P99MS < p.P50MS || p.MaxMS < p.P99MS {
+			t.Fatalf("latency percentiles inconsistent: %+v", p)
+		}
+		cohortRows[p.Cohort]++
+		if p.Knee {
+			kneeRows++
+		}
+		if p.Cohort == "all" && p.Saturated {
+			saturatedAgg++
+		}
+	}
+	for _, want := range []string{"all", "readers", "dashboards", "writers"} {
+		if cohortRows[want] == 0 {
+			t.Fatalf("no rows for cohort %q (have %v)", want, cohortRows)
+		}
+	}
+	if kneeRows != 1 {
+		t.Fatalf("knee rows = %d, want exactly 1", kneeRows)
+	}
+	if saturatedAgg == 0 {
+		t.Fatal("sweep never saturated despite headroom rates")
+	}
+}
+
+// TestRecordReplay pins the CLI's record/replay loop: an open-loop run
+// recorded to JSONL and replayed must observe exactly the same request
+// count (the trace is the workload; the driver adds nothing).
+func TestRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	jsonA := filepath.Join(dir, "a.json")
+	jsonB := filepath.Join(dir, "b.json")
+
+	base := cliConfig{
+		mode: "run", loop: "open", rate: 80, schedule: "constant",
+		duration: 400 * time.Millisecond, window: 200 * time.Millisecond,
+		inflight: 16, cohorts: "readers=topk:3,writers=mutate:1", zipf: 1.5,
+		graphs: "g=grid:6x6x5", seed: 5, workers: 1, cache: 64,
+	}
+
+	rec := base
+	rec.record, rec.jsonPath = tracePath, jsonA
+	var out bytes.Buffer
+	if err := run(rec, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := base
+	rep.replay, rep.jsonPath = tracePath, jsonB
+	if err := run(rep, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	readAgg := func(path string) bench.Point {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var points []bench.Point
+		if err := json.Unmarshal(raw, &points); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Cohort == "all" {
+				if p.Experiment != "load-run" {
+					t.Fatalf("run-mode point mislabeled: %+v", p)
+				}
+				return p
+			}
+		}
+		t.Fatalf("no aggregate row in %s", path)
+		return bench.Point{}
+	}
+	a, b := readAgg(jsonA), readAgg(jsonB)
+	if a.Requests == 0 || a.Requests != b.Requests {
+		t.Fatalf("recorded run saw %d requests, replay saw %d", a.Requests, b.Requests)
+	}
+	if a.ReqErrors != 0 || b.ReqErrors != 0 {
+		t.Fatalf("errors: record %d, replay %d", a.ReqErrors, b.ReqErrors)
+	}
+}
+
+// TestClosedLoopCLI smoke-tests the closed-loop path through the CLI.
+func TestClosedLoopCLI(t *testing.T) {
+	cfg := cliConfig{
+		mode: "run", loop: "closed",
+		duration: 300 * time.Millisecond, window: 100 * time.Millisecond,
+		cohorts: "default", zipf: 1.5,
+		graphs: "g=grid:6x6x5", seed: 3, workers: 1, cache: 64,
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"readers", "dashboards", "writers", "p99ms"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("closed-loop output missing %q:\n%s", want, out.String())
+		}
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag must be rejected")
+	}
+}

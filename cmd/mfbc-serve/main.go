@@ -23,15 +23,26 @@
 // simulated p-processor machine (stationary operands stay resident and are
 // delta-patched between batches) and the response carries the modeled
 // communication: {"procs":16,"plan":"4x2x2/X=B/YZ=AB","comm":{"bytes":...}}.
+//
+// The listener is a hardened http.Server (header/read/idle timeouts guard
+// against slow-drip clients; see -read-header-timeout and friends) and
+// SIGINT/SIGTERM drain in-flight requests for -shutdown-grace before the
+// process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/server"
 )
@@ -48,6 +59,11 @@ func main() {
 	dynRefresh := flag.Int("dyn-refresh", 0, "exact-refresh cadence of sampled mode: every Nth PATCH recomputes exactly (0 = library default 8)")
 	logCompact := flag.Int("log-compact", 0, "mutation-log bound per graph before automatic compaction/truncation (0 = default 4096, negative = unmanaged)")
 	logTruncate := flag.Bool("log-truncate", false, "past the log bound, snapshot the graph as the new replay base and truncate the log instead of compacting it")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "max time to read a request's headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read a full request including the body")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	writeTimeout := flag.Duration("write-timeout", 0, "max time to write a response (0 = unlimited; exact queries on large graphs can be slow)")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
 	flag.Parse()
 
 	s, err := buildServer(serveConfig{
@@ -64,8 +80,64 @@ func main() {
 		log.Printf("preloaded graph %q: n=%d m=%d directed=%v weighted=%v version=%016x",
 			info.Name, info.N, info.M, info.Directed, info.Weighted, info.Version)
 	}
-	log.Printf("mfbc-serve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.NewMux(s)))
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
+		os.Exit(1)
+	}
+	srv := newHTTPServer(server.NewMux(s), httpTimeouts{
+		readHeader: *readHeaderTimeout, read: *readTimeout,
+		write: *writeTimeout, idle: *idleTimeout,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("mfbc-serve listening on %s", l.Addr())
+	if err := serve(ctx, srv, l, *shutdownGrace); err != nil {
+		log.Fatalf("mfbc-serve: %v", err)
+	}
+	log.Printf("mfbc-serve: drained and shut down")
+}
+
+// httpTimeouts carries the connection-hardening knobs into newHTTPServer.
+type httpTimeouts struct {
+	readHeader, read, write, idle time.Duration
+}
+
+// newHTTPServer wraps the mux in a production-configured http.Server: a
+// bare http.ListenAndServe has no header/read/idle timeouts, so a single
+// slow-drip client (slowloris) can pin connections forever.
+func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeader,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+	}
+}
+
+// serve runs srv on l until ctx is canceled, then drains in-flight
+// requests for up to grace before forcing the remaining connections
+// closed. A nil error means a clean drain (or a clean server close).
+func serve(ctx context.Context, srv *http.Server, l net.Listener, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		// Serve has returned ErrServerClosed by now; surface only the
+		// drain outcome (context.DeadlineExceeded if the grace ran out).
+		<-errc
+		return err
+	}
 }
 
 // serveConfig carries the flag values into buildServer.

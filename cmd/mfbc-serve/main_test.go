@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/server"
@@ -174,5 +179,85 @@ func TestBuildServerPreloadErrors(t *testing.T) {
 	s, err := buildServer(serveConfig{workers: 1}, " ")
 	if err != nil || len(s.Graphs()) != 0 {
 		t.Fatalf("blank preload must yield an empty registry: %v", err)
+	}
+}
+
+// TestShutdownUnderLoad drives the production server wiring (listener +
+// hardened http.Server + signal-triggered drain) through a shutdown while
+// queries are in flight: every accepted request must complete with 200,
+// serve must return a clean drain, and the listener must stop accepting.
+func TestShutdownUnderLoad(t *testing.T) {
+	s, err := buildServer(serveConfig{workers: 1, cache: 64}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddGraph("g", repro.GridGraph(12, 12, 5, 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(server.NewMux(s), httpTimeouts{
+		readHeader: time.Second, read: 5 * time.Second, idle: time.Minute,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, srv, l, 30*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	// In-flight load: distinct sampled queries so each pays a real compute
+	// instead of coalescing onto one flight.
+	const inflight = 6
+	status := make(chan int, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			body := fmt.Sprintf(`{"graph":"g","samples":16,"seed":%d,"k":3}`, i+1)
+			resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				status <- -1
+				return
+			}
+			resp.Body.Close()
+			status <- resp.StatusCode
+		}(i)
+	}
+
+	// Let the requests reach the server, then trigger the drain mid-compute
+	// (the same path a SIGINT/SIGTERM takes through signal.NotifyContext).
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	for i := 0; i < inflight; i++ {
+		if st := <-status; st != http.StatusOK {
+			t.Fatalf("in-flight request %d finished with %d during drain, want 200", i, st)
+		}
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve returned %v, want clean drain", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeCleanCloseWithoutSignal pins the other serve exit path: closing
+// the server directly (no signal) must surface as a clean nil, not
+// http.ErrServerClosed.
+func TestServeCleanCloseWithoutSignal(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(http.NewServeMux(), httpTimeouts{readHeader: time.Second})
+	done := make(chan error, 1)
+	go func() { done <- serve(context.Background(), srv, l, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v on direct close, want nil", err)
 	}
 }

@@ -85,6 +85,28 @@ type Point struct {
 	Fused    bool    `json:"fused,omitempty"`
 	Samples  int     `json:"samples,omitempty"`
 	ErrBound float64 `json:"err_bound,omitempty"`
+	// Load-harness fields (experiments "load-run" and "load-sweep", emitted by cmd/mfbc-load
+	// into the same BENCH_*.json format): offered vs. achieved traffic,
+	// latency percentiles, and server-counter deltas scraped from /stats
+	// over the measurement step. Cohort is "all" for the aggregate row or
+	// the cohort name for per-cohort rows; Knee marks the aggregate row of
+	// the highest offered rate the service sustained before saturating.
+	Cohort         string  `json:"cohort,omitempty"`
+	OfferedRPS     float64 `json:"offered_rps,omitempty"`
+	AchievedRPS    float64 `json:"achieved_rps,omitempty"`
+	GoodputRPS     float64 `json:"goodput_rps,omitempty"`
+	P50MS          float64 `json:"p50_ms,omitempty"`
+	P95MS          float64 `json:"p95_ms,omitempty"`
+	P99MS          float64 `json:"p99_ms,omitempty"`
+	MaxMS          float64 `json:"max_ms,omitempty"`
+	Requests       int64   `json:"requests,omitempty"`
+	ReqErrors      int64   `json:"req_errors,omitempty"`
+	CacheHits      int64   `json:"cache_hits,omitempty"`
+	Coalesced      int64   `json:"coalesced,omitempty"`
+	WarmSeeds      int64   `json:"warm_seeds,omitempty"`
+	CacheEvictions int64   `json:"cache_evictions,omitempty"`
+	Saturated      bool    `json:"saturated,omitempty"`
+	Knee           bool    `json:"knee,omitempty"`
 }
 
 // Experiments lists the available experiment ids in presentation order.

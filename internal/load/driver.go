@@ -1,0 +1,192 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// StatsSample is one /stats scrape with its offset from run start.
+type StatsSample struct {
+	At    time.Duration
+	Stats server.Stats
+}
+
+// RunResult is the measured outcome of one driver run.
+type RunResult struct {
+	// Offered is the intended open-loop arrival rate in requests/second
+	// (zero for closed-loop runs, whose load is response-paced).
+	Offered float64
+	// Elapsed is wall time from first dispatch to last completion.
+	Elapsed time.Duration
+	// Total aggregates every request (Cohort "all"); Cohorts splits by
+	// cohort; Windows is the per-window timeline.
+	Total   CohortSummary
+	Cohorts []CohortSummary
+	Windows []WindowStats
+	// StatsBefore/StatsAfter bracket the run; StatsWindows are the
+	// periodic scrapes in between (one per recorder window).
+	StatsBefore  server.Stats
+	StatsAfter   server.Stats
+	StatsWindows []StatsSample
+}
+
+// scrapeLoop samples tg's server counters every window until stop is
+// closed, then delivers the collected scrapes on done.
+func scrapeLoop(tg Target, window time.Duration, start time.Time, stop <-chan struct{}, done chan<- []StatsSample) {
+	var scrapes []StatsSample
+	tick := time.NewTicker(window)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			done <- scrapes
+			return
+		case <-tick.C:
+			if st, err := tg.ServerStats(); err == nil {
+				scrapes = append(scrapes, StatsSample{At: time.Since(start), Stats: st})
+			}
+		}
+	}
+}
+
+// RunOpenLoop fires a pre-generated trace at its scheduled arrival times:
+// dispatch does not wait for earlier responses, so offered load is
+// independent of server speed (the defining open-loop property — a
+// saturated server visibly falls behind instead of silently slowing the
+// generator). maxInflight bounds concurrently outstanding requests to
+// protect file descriptors; when the bound binds, arrivals queue and
+// their measured latency still counts from the scheduled time, so
+// saturation shows up as latency rather than being silently omitted
+// (no coordinated omission). window sets the recorder/scrape bucket
+// width.
+func RunOpenLoop(tg Target, trace []Request, offered float64, window time.Duration, maxInflight int) (*RunResult, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("load: empty trace")
+	}
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	rec := NewRecorder(window)
+	before, err := tg.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("load: pre-run stats scrape: %w", err)
+	}
+
+	start := time.Now()
+	stop := make(chan struct{})
+	scraped := make(chan []StatsSample, 1)
+	go scrapeLoop(tg, rec.window, start, stop, scraped)
+
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	for i := range trace {
+		req := &trace[i]
+		if d := req.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := tg.Do(req)
+			// Latency from the scheduled arrival, not the (possibly
+			// semaphore-delayed) dispatch.
+			lat := time.Since(start) - req.At
+			rec.Observe(Sample{Cohort: req.Cohort, Start: req.At, Latency: lat, OK: out.OK()})
+			<-sem
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	after, err := tg.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("load: post-run stats scrape: %w", err)
+	}
+
+	return &RunResult{
+		Offered:      offered,
+		Elapsed:      elapsed,
+		Total:        rec.Total(elapsed),
+		Cohorts:      rec.Summaries(elapsed),
+		Windows:      rec.Windows(),
+		StatsBefore:  before,
+		StatsAfter:   after,
+		StatsWindows: <-scraped,
+	}, nil
+}
+
+// RunClosedLoop runs cfg.Cohorts as closed-loop populations for
+// cfg.Horizon: each cohort contributes Clients concurrent clients, each
+// issuing its deterministic stream sequentially with a Think pause after
+// every response. Load self-limits to what the server sustains — the
+// complementary discipline to RunOpenLoop, and the right smoke test for
+// CI because it cannot overrun a slow machine.
+func RunClosedLoop(tg Target, cfg TraceConfig, window time.Duration) (*RunResult, error) {
+	cohorts, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecorder(window)
+	before, err := tg.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("load: pre-run stats scrape: %w", err)
+	}
+
+	start := time.Now()
+	stop := make(chan struct{})
+	scraped := make(chan []StatsSample, 1)
+	go scrapeLoop(tg, rec.window, start, stop, scraped)
+
+	var wg sync.WaitGroup
+	for ci := range cohorts {
+		c := cohorts[ci]
+		for k := 0; k < c.Clients; k++ {
+			stream, err := NewClientStream(cfg, ci, k)
+			if err != nil {
+				close(stop)
+				<-scraped
+				return nil, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					at := time.Since(start)
+					if at >= cfg.Horizon {
+						return
+					}
+					req := stream.Next()
+					out := tg.Do(&req)
+					rec.Observe(Sample{
+						Cohort: req.Cohort, Start: at,
+						Latency: time.Since(start) - at, OK: out.OK(),
+					})
+					if c.Think > 0 {
+						time.Sleep(c.Think)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	after, err := tg.ServerStats()
+	if err != nil {
+		return nil, fmt.Errorf("load: post-run stats scrape: %w", err)
+	}
+
+	return &RunResult{
+		Elapsed:      elapsed,
+		Total:        rec.Total(elapsed),
+		Cohorts:      rec.Summaries(elapsed),
+		Windows:      rec.Windows(),
+		StatsBefore:  before,
+		StatsAfter:   after,
+		StatsWindows: <-scraped,
+	}, nil
+}

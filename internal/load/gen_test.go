@@ -1,0 +1,272 @@
+package load
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func testGraphs(t *testing.T) []*SeededGraph {
+	t.Helper()
+	hot, err := NewSeededGraph("hot", server.GraphSpec{Kind: "grid", Rows: 8, Cols: 8, MaxWeight: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewSeededGraph("warm", server.GraphSpec{Kind: "uniform", N: 48, M: 160, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*SeededGraph{hot, warm}
+}
+
+func testCohorts() []CohortSpec {
+	return []CohortSpec{
+		{Name: "readers", Kind: "topk", Weight: 4},
+		{Name: "dashboards", Kind: "sampled", Weight: 2, Popularity: "zipf", SeedSpace: 3},
+		{Name: "writers", Kind: "mutate", Weight: 1, BatchSize: 2},
+	}
+}
+
+// TestGenerateTraceDeterminism is the reproducibility contract of the
+// harness: identical configs and seeds yield bit-identical traces;
+// different seeds do not.
+func TestGenerateTraceDeterminism(t *testing.T) {
+	cfg := TraceConfig{
+		Cohorts:  testCohorts(),
+		Graphs:   testGraphs(t),
+		Schedule: Constant{RPS: 500},
+		Horizon:  2 * time.Second,
+		Seed:     42,
+	}
+	a, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+
+	cfg.Seed = 43
+	c, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	// ~500 rps over 2s: the Poisson count must land near 1000.
+	if len(a) < 700 || len(a) > 1300 {
+		t.Fatalf("trace length %d wildly off the offered 1000", len(a))
+	}
+	// Arrivals are sorted and inside the horizon; every cohort shows up.
+	seen := map[string]int{}
+	for i, r := range a {
+		if i > 0 && r.At < a[i-1].At {
+			t.Fatalf("arrival %d out of order", i)
+		}
+		if r.At < 0 || r.At >= cfg.Horizon {
+			t.Fatalf("arrival %d outside horizon: %s", i, r.At)
+		}
+		seen[r.Cohort]++
+	}
+	for _, c := range testCohorts() {
+		if seen[c.Name] == 0 {
+			t.Fatalf("cohort %q generated no requests (%v)", c.Name, seen)
+		}
+	}
+	// Weight 4:2:1 must be visible in the mix.
+	if seen["readers"] <= seen["dashboards"] || seen["dashboards"] <= seen["writers"] {
+		t.Fatalf("cohort weights not respected: %v", seen)
+	}
+}
+
+// TestGenerateTraceMutationsAreValid pins the mutate-cohort contract:
+// every generated mutation reweights an edge that really exists in the
+// addressed graph, so a live server accepts whole traces without drawing
+// rejected mutations.
+func TestGenerateTraceMutationsAreValid(t *testing.T) {
+	graphs := testGraphs(t)
+	edges := make(map[string]map[[2]int32]bool)
+	for _, sg := range graphs {
+		set := make(map[[2]int32]bool, len(sg.edges))
+		for _, e := range sg.edges {
+			set[[2]int32{e.U, e.V}] = true
+		}
+		edges[sg.Name] = set
+	}
+	trace, err := GenerateTrace(TraceConfig{
+		Cohorts:  []CohortSpec{{Name: "writers", Kind: "mutate", BatchSize: 3}},
+		Graphs:   graphs,
+		Schedule: Constant{RPS: 200},
+		Horizon:  time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range trace {
+		if r.Op != OpMutate || len(r.Mutations) != 3 {
+			t.Fatalf("writer request malformed: %+v", r)
+		}
+		for _, m := range r.Mutations {
+			if !edges[r.Graph][[2]int32{m.U, m.V}] {
+				t.Fatalf("mutation targets non-edge (%d,%d) of %q", m.U, m.V, r.Graph)
+			}
+			if m.W < 1 || m.W > 9 {
+				t.Fatalf("mutation weight %v outside [1,9]", m.W)
+			}
+		}
+	}
+}
+
+// TestClientStreamDeterminism pins closed-loop reproducibility: the same
+// (cohort, client) pair replays the same stream; distinct clients diverge.
+func TestClientStreamDeterminism(t *testing.T) {
+	cfg := TraceConfig{
+		Cohorts: testCohorts(),
+		Graphs:  testGraphs(t),
+		Horizon: time.Second,
+		Seed:    7,
+	}
+	s1, err := NewClientStream(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewClientStream(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewClientStream(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		a, b, c := s1.Next(), s2.Next(), other.Next()
+		if !reflect.DeepEqual(a, b) {
+			same = false
+		}
+		if !reflect.DeepEqual(a, c) {
+			diff = true
+		}
+		if a.Cohort != "dashboards" {
+			t.Fatalf("stream of cohort 1 emitted cohort %q", a.Cohort)
+		}
+	}
+	if !same {
+		t.Fatal("identical clients diverged")
+	}
+	if !diff {
+		t.Fatal("distinct clients replayed the same stream")
+	}
+}
+
+// TestTraceRoundTrip pins record/replay: write → read is lossless.
+func TestTraceRoundTrip(t *testing.T) {
+	trace, err := GenerateTrace(TraceConfig{
+		Cohorts:  testCohorts(),
+		Graphs:   testGraphs(t),
+		Schedule: Constant{RPS: 300},
+		Horizon:  time.Second,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, back) {
+		t.Fatal("trace changed across a JSONL round trip")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("{bogus\n"))); err == nil {
+		t.Fatal("malformed trace line must error")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	const eps = 1e-12
+	c, err := ParseSchedule("constant", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.RateAt(time.Hour); math.Abs(r-100) > eps {
+		t.Fatalf("constant rate = %g", r)
+	}
+
+	s, err := ParseSchedule("step:2@10s", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{{0, 50}, {9 * time.Second, 50}, {10 * time.Second, 100}, {25 * time.Second, 200}} {
+		if r := s.RateAt(tc.at); math.Abs(r-tc.want) > eps {
+			t.Fatalf("step rate at %s = %g, want %g", tc.at, r, tc.want)
+		}
+	}
+	if m := s.MaxRate(30 * time.Second); math.Abs(m-200) > eps {
+		t.Fatalf("step max over 30s = %g, want 200", m)
+	}
+
+	d, err := ParseSchedule("diurnal:0.5@40s", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.RateAt(10 * time.Second); math.Abs(r-120) > 1e-9 {
+		t.Fatalf("diurnal peak = %g, want 120", r)
+	}
+	if m := d.MaxRate(time.Minute); math.Abs(m-120) > eps {
+		t.Fatalf("diurnal max = %g, want 120", m)
+	}
+	if r := d.RateAt(30 * time.Second); math.Abs(r-40) > 1e-9 {
+		t.Fatalf("diurnal trough = %g, want 40", r)
+	}
+
+	for _, bad := range []string{"nope", "step:0@1s", "step:2@0s", "diurnal:2@1s", "step:2"} {
+		if _, err := ParseSchedule(bad, 10); err == nil {
+			t.Fatalf("schedule %q must be rejected", bad)
+		}
+	}
+	if _, err := ParseSchedule("constant", 0); err == nil {
+		t.Fatal("zero base rate must be rejected")
+	}
+}
+
+func TestCohortValidation(t *testing.T) {
+	for _, bad := range []CohortSpec{
+		{Name: "x", Kind: "bogus"},
+		{Name: "x", Kind: "topk", Weight: -1},
+		{Name: "x", Kind: "topk", Popularity: "pareto"},
+		{Name: "x", Kind: "topk", Popularity: "zipf", ZipfS: 0.5},
+	} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Fatalf("cohort %+v must be rejected", bad)
+		}
+	}
+	c, err := CohortSpec{Kind: "sampled"}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "sampled" || c.K != 10 || c.Samples != 16 || c.SeedSpace != 4 || c.Clients != 1 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

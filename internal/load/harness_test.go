@@ -1,0 +1,250 @@
+package load
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRecorderPercentiles feeds a known latency distribution (1..100 ms,
+// one sample each) and checks the nearest-rank percentiles exactly.
+func TestRecorderPercentiles(t *testing.T) {
+	rec := NewRecorder(time.Second)
+	for i := 1; i <= 100; i++ {
+		rec.Observe(Sample{
+			Cohort:  "c",
+			Start:   time.Duration(i) * 10 * time.Millisecond,
+			Latency: time.Duration(i) * time.Millisecond,
+			OK:      i%10 != 0, // 10 errors
+		})
+	}
+	total := rec.Total(2 * time.Second)
+	if total.Requests != 100 || total.Errors != 10 {
+		t.Fatalf("total = %+v", total)
+	}
+	const eps = 1e-9
+	for _, tc := range []struct{ got, want float64 }{
+		{total.Lat.P50MS, 50}, {total.Lat.P95MS, 95},
+		{total.Lat.P99MS, 99}, {total.Lat.MaxMS, 100},
+		{total.RPS, 50}, {total.GoodputRPS, 45},
+	} {
+		if math.Abs(tc.got-tc.want) > eps {
+			t.Fatalf("percentile/rate mismatch: got %g want %g (total %+v)", tc.got, tc.want, total)
+		}
+	}
+
+	sums := rec.Summaries(2 * time.Second)
+	if len(sums) != 1 || sums[0].Cohort != "c" || sums[0].Requests != 100 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+
+	// Windows bucket by scheduled start: samples at 10ms..1000ms with a 1s
+	// window put starts 10..990ms in window 0 and the 1000ms start in
+	// window 1.
+	wins := rec.Windows()
+	if len(wins) != 2 || wins[0].Index != 0 || wins[0].Requests != 99 || wins[1].Requests != 1 {
+		t.Fatalf("windows = %+v", wins)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	rec := NewRecorder(0)
+	if got := rec.Total(time.Second); got.Requests != 0 || got.Lat.MaxMS > 0 {
+		t.Fatalf("empty total = %+v", got)
+	}
+	if wins := rec.Windows(); len(wins) != 0 {
+		t.Fatalf("empty windows = %+v", wins)
+	}
+}
+
+// fakeTarget is a synthetic service with a hard capacity: `slots`
+// concurrent requests, each taking `service` of wall time. Its saturation
+// throughput is slots/service, known analytically — the ground truth the
+// sweep's knee detector is tested against.
+type fakeTarget struct {
+	slots   chan struct{}
+	service time.Duration
+
+	mu    sync.Mutex
+	stats server.Stats // guarded by mu
+}
+
+func newFakeTarget(slots int, service time.Duration) *fakeTarget {
+	return &fakeTarget{slots: make(chan struct{}, slots), service: service}
+}
+
+func (f *fakeTarget) Do(r *Request) Outcome {
+	f.slots <- struct{}{}
+	time.Sleep(f.service)
+	<-f.slots
+	f.mu.Lock()
+	f.stats.Queries++
+	f.mu.Unlock()
+	return Outcome{Status: 200}
+}
+
+func (f *fakeTarget) Register(string, server.GraphSpec) error { return nil }
+
+func (f *fakeTarget) ServerStats() (server.Stats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats, nil
+}
+
+func (f *fakeTarget) Close() {}
+
+// TestSweepFindsKnee sweeps a fake service whose capacity is known
+// (4 slots × 5ms service = 800 rps) and checks the knee lands below
+// capacity and that overload is flagged saturated.
+func TestSweepFindsKnee(t *testing.T) {
+	tg := newFakeTarget(4, 5*time.Millisecond)
+	res, err := RunSweep(tg, SweepConfig{
+		Cohorts:      []CohortSpec{{Name: "readers", Kind: "topk"}},
+		Graphs:       testGraphs(t),
+		Rates:        []float64{100, 200, 3200},
+		StepDuration: 500 * time.Millisecond,
+		Window:       100 * time.Millisecond,
+		MaxInflight:  64,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.KneeFound {
+		t.Fatalf("no knee found: %+v", res.Points)
+	}
+	if res.KneeIndex != 1 || math.Abs(res.KneeRPS-200) > 1e-9 {
+		t.Fatalf("knee at index %d rate %g, want index 1 rate 200", res.KneeIndex, res.KneeRPS)
+	}
+	if len(res.Points) != 3 || res.Points[0].Saturated || res.Points[1].Saturated || !res.Points[2].Saturated {
+		t.Fatalf("saturation flags wrong: %+v", res.Points)
+	}
+
+	pts := res.BenchPoints(testGraphs(t))
+	// 3 steps × (1 aggregate + 1 cohort row).
+	if len(pts) != 6 {
+		t.Fatalf("bench points = %d, want 6", len(pts))
+	}
+	kneeRows := 0
+	for _, p := range pts {
+		if p.Experiment != "load-sweep" || p.Graph != "hot+warm" {
+			t.Fatalf("bench point mislabeled: %+v", p)
+		}
+		if p.Knee {
+			kneeRows++
+			if p.Cohort != "all" || math.Abs(p.OfferedRPS-200) > 1e-9 {
+				t.Fatalf("knee row wrong: %+v", p)
+			}
+		}
+	}
+	if kneeRows != 1 {
+		t.Fatalf("knee rows = %d, want exactly 1", kneeRows)
+	}
+}
+
+// TestSweepAllSaturated: when even the lowest rate exceeds capacity the
+// sweep must stop after one point and report no knee.
+func TestSweepAllSaturated(t *testing.T) {
+	tg := newFakeTarget(1, 50*time.Millisecond) // capacity 20 rps
+	res, err := RunSweep(tg, SweepConfig{
+		Cohorts:      []CohortSpec{{Name: "readers", Kind: "topk"}},
+		Graphs:       testGraphs(t),
+		Rates:        []float64{400, 800},
+		StepDuration: 300 * time.Millisecond,
+		MaxInflight:  16,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KneeFound || res.KneeIndex != -1 || len(res.Points) != 1 || !res.Points[0].Saturated {
+		t.Fatalf("overloaded sweep = %+v", res)
+	}
+}
+
+// TestClosedLoopInProcess is the CI smoke test: a closed-loop mixed-cohort
+// run against a real in-process server. Closed loop self-limits, so it
+// cannot overrun a slow CI machine; every response must be a success and
+// the server counters must show all three traffic classes.
+func TestClosedLoopInProcess(t *testing.T) {
+	tg := NewInprocTarget(server.Config{Workers: 1})
+	defer tg.Close()
+	graphs := testGraphs(t)
+	if err := Seed(tg, graphs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunClosedLoop(tg, TraceConfig{
+		Cohorts: []CohortSpec{
+			{Name: "readers", Kind: "topk", Clients: 2, Think: time.Millisecond},
+			{Name: "dashboards", Kind: "sampled", Clients: 1, Think: 2 * time.Millisecond, Popularity: "zipf"},
+			{Name: "writers", Kind: "mutate", Clients: 1, Think: 5 * time.Millisecond},
+		},
+		Graphs:  graphs,
+		Horizon: 600 * time.Millisecond,
+		Seed:    21,
+	}, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests == 0 || res.Total.Errors != 0 {
+		t.Fatalf("closed loop total = %+v", res.Total)
+	}
+	if len(res.Cohorts) != 3 {
+		t.Fatalf("cohorts = %+v", res.Cohorts)
+	}
+	for _, c := range res.Cohorts {
+		if c.Requests == 0 {
+			t.Fatalf("cohort %q sent nothing", c.Cohort)
+		}
+		if !(c.Lat.P50MS > 0) || c.Lat.MaxMS < c.Lat.P99MS {
+			t.Fatalf("cohort %q latency stats inconsistent: %+v", c.Cohort, c.Lat)
+		}
+	}
+	d := statsDelta(res.StatsBefore, res.StatsAfter)
+	if res.StatsAfter.Queries == 0 || res.StatsAfter.Mutations == 0 {
+		t.Fatalf("server saw no traffic: %+v", res.StatsAfter)
+	}
+	// Repeat top-k reads on a graph version must hit the cache.
+	if d.CacheHits == 0 {
+		t.Fatalf("no cache hits across the run: %+v", res.StatsAfter)
+	}
+}
+
+// TestOpenLoopInProcessReplay drives a recorded open-loop trace against a
+// real in-process server and checks every request lands (the trace only
+// references registered graphs and real edges, so errors mean a harness
+// bug).
+func TestOpenLoopInProcessReplay(t *testing.T) {
+	tg := NewInprocTarget(server.Config{Workers: 1})
+	defer tg.Close()
+	graphs := testGraphs(t)
+	if err := Seed(tg, graphs); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GenerateTrace(TraceConfig{
+		Cohorts:  testCohorts(),
+		Graphs:   graphs,
+		Schedule: Constant{RPS: 100},
+		Horizon:  500 * time.Millisecond,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOpenLoop(tg, trace, 100, 100*time.Millisecond, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests != len(trace) {
+		t.Fatalf("observed %d of %d requests", res.Total.Requests, len(trace))
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("open-loop replay produced %d errors", res.Total.Errors)
+	}
+	if len(res.StatsWindows) == 0 {
+		t.Fatal("no periodic stats scrapes recorded")
+	}
+}

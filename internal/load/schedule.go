@@ -1,0 +1,135 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule is a time-varying offered-load profile for open-loop traces.
+// RateAt returns the target arrival rate (requests/second) at elapsed
+// time t; MaxRate returns an upper bound of RateAt over [0, horizon],
+// used as the thinning envelope by GenerateTrace.
+type Schedule interface {
+	RateAt(t time.Duration) float64
+	MaxRate(horizon time.Duration) float64
+	String() string
+}
+
+// Constant offers a fixed rate for the whole run.
+type Constant struct {
+	RPS float64
+}
+
+func (c Constant) RateAt(time.Duration) float64  { return c.RPS }
+func (c Constant) MaxRate(time.Duration) float64 { return c.RPS }
+func (c Constant) String() string                { return fmt.Sprintf("constant:%g", c.RPS) }
+
+// Step multiplies the rate by Factor every Every, starting at Start —
+// the staircase profile of a saturation probe run as a single schedule.
+type Step struct {
+	Start  float64
+	Factor float64
+	Every  time.Duration
+}
+
+func (s Step) RateAt(t time.Duration) float64 {
+	if t < 0 || s.Every <= 0 {
+		return s.Start
+	}
+	return s.Start * math.Pow(s.Factor, float64(t/s.Every))
+}
+
+func (s Step) MaxRate(horizon time.Duration) float64 {
+	if horizon <= 0 {
+		return s.Start
+	}
+	// The last step that begins strictly inside the horizon.
+	last := (horizon - 1) / s.Every
+	r := s.RateAt(last * s.Every)
+	if r < s.Start {
+		return s.Start // Factor < 1: the staircase descends
+	}
+	return r
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("step:%gx@%s from %g", s.Factor, s.Every, s.Start)
+}
+
+// Diurnal modulates a base rate sinusoidally with the given period:
+// rate(t) = Base · (1 + Amp·sin(2πt/Period)), clamped at zero. Amp is the
+// fractional amplitude (0.5 → ±50% around the base).
+type Diurnal struct {
+	Base   float64
+	Amp    float64
+	Period time.Duration
+}
+
+func (d Diurnal) RateAt(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	r := d.Base * (1 + d.Amp*math.Sin(2*math.Pi*float64(t)/float64(d.Period)))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (d Diurnal) MaxRate(time.Duration) float64 {
+	amp := d.Amp
+	if amp < 0 {
+		amp = -amp
+	}
+	return d.Base * (1 + amp)
+}
+
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal:%g@%s around %g", d.Amp, d.Period, d.Base)
+}
+
+// ParseSchedule parses the -schedule flag grammar against a base rate:
+//
+//	constant                 fixed rate rps
+//	step:FACTOR@DUR          rate rps · FACTOR^⌊t/DUR⌋
+//	diurnal:AMP@DUR          rate rps · (1 + AMP·sin(2πt/DUR))
+func ParseSchedule(spec string, rps float64) (Schedule, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("load: schedule base rate must be positive, got %g", rps)
+	}
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "", "constant":
+		return Constant{RPS: rps}, nil
+	case "step", "diurnal":
+		val, durs, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("load: schedule %q: want %s:VALUE@DURATION", spec, kind)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: schedule %q: bad value: %w", spec, err)
+		}
+		d, err := time.ParseDuration(durs)
+		if err != nil {
+			return nil, fmt.Errorf("load: schedule %q: bad duration: %w", spec, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("load: schedule %q: duration must be positive", spec)
+		}
+		if kind == "step" {
+			if x <= 0 {
+				return nil, fmt.Errorf("load: schedule %q: step factor must be positive", spec)
+			}
+			return Step{Start: rps, Factor: x, Every: d}, nil
+		}
+		if x < 0 || x > 1 {
+			return nil, fmt.Errorf("load: schedule %q: diurnal amplitude must be in [0,1]", spec)
+		}
+		return Diurnal{Base: rps, Amp: x, Period: d}, nil
+	}
+	return nil, fmt.Errorf("load: unknown schedule %q (want constant|step:F@D|diurnal:A@D)", spec)
+}

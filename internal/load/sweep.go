@@ -1,0 +1,211 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// SweepConfig drives a saturation sweep: the same workload mix offered at
+// each rate in Rates (ascending), open loop, StepDuration per rate.
+type SweepConfig struct {
+	Cohorts []CohortSpec
+	Graphs  []*SeededGraph
+	// Rates are the offered rates (requests/second) to step through,
+	// ascending.
+	Rates        []float64
+	StepDuration time.Duration
+	Window       time.Duration
+	MaxInflight  int
+	Seed         int64
+	// GoodputFrac and P99Blowup are the saturation thresholds: a point is
+	// saturated when goodput falls below GoodputFrac·offered (default
+	// 0.9) or its p99 exceeds P99Blowup× the lowest-rate baseline p99
+	// (default 5).
+	GoodputFrac float64
+	P99Blowup   float64
+}
+
+// SweepPoint is one measured rate step.
+type SweepPoint struct {
+	Offered   float64
+	Saturated bool
+	Run       *RunResult
+}
+
+// SweepResult is the outcome of a saturation sweep. KneeIndex is the last
+// consecutive unsaturated point from the bottom of the sweep (-1 when
+// even the lowest rate saturates); KneeFound reports whether some higher
+// rate actually saturated, i.e. whether the knee is bracketed rather than
+// merely "the highest rate we tried".
+type SweepResult struct {
+	Points    []SweepPoint
+	KneeIndex int
+	KneeRPS   float64
+	KneeFound bool
+}
+
+// RunSweep steps offered load up cfg.Rates against tg. Each step
+// regenerates a deterministic trace (seed varied per step, reproducibly)
+// and replays it open loop. Sweeping is cumulative server state: caches
+// stay warm and mutations accumulate across steps, as they would in
+// production.
+func RunSweep(tg Target, cfg SweepConfig) (*SweepResult, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("load: sweep needs at least one rate")
+	}
+	if !sort.Float64sAreSorted(cfg.Rates) {
+		return nil, fmt.Errorf("load: sweep rates must be ascending")
+	}
+	if cfg.StepDuration <= 0 {
+		return nil, fmt.Errorf("load: sweep step duration must be positive")
+	}
+	goodFrac := cfg.GoodputFrac
+	if !(goodFrac > 0) {
+		goodFrac = 0.9
+	}
+	blowup := cfg.P99Blowup
+	if !(blowup > 0) {
+		blowup = 5
+	}
+
+	res := &SweepResult{KneeIndex: -1}
+	baseP99 := 0.0
+	for i, rate := range cfg.Rates {
+		if !(rate > 0) {
+			return nil, fmt.Errorf("load: sweep rate %d is nonpositive", i)
+		}
+		trace, err := GenerateTrace(TraceConfig{
+			Cohorts:  cfg.Cohorts,
+			Graphs:   cfg.Graphs,
+			Schedule: Constant{RPS: rate},
+			Horizon:  cfg.StepDuration,
+			Seed:     cfg.Seed + int64(i)*101, // distinct but reproducible per step
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("load: rate %g over %s generated no arrivals", rate, cfg.StepDuration)
+		}
+		run, err := RunOpenLoop(tg, trace, rate, cfg.Window, cfg.MaxInflight)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseP99 = run.Total.Lat.P99MS
+		}
+		// Judge goodput against the rate the trace actually offered
+		// (len/horizon), not the nominal target: short steps carry real
+		// Poisson variance, and holding the generator to the nominal rate
+		// would flag an unlucky draw as saturation.
+		offeredActual := float64(len(trace)) / cfg.StepDuration.Seconds()
+		saturated := run.Total.GoodputRPS < goodFrac*offeredActual ||
+			(baseP99 > 0 && run.Total.Lat.P99MS > blowup*baseP99)
+		res.Points = append(res.Points, SweepPoint{Offered: rate, Saturated: saturated, Run: run})
+		if saturated {
+			res.KneeFound = res.KneeIndex >= 0
+			break // past the knee; higher rates only melt the server further
+		}
+		res.KneeIndex = i
+		res.KneeRPS = rate
+	}
+	return res, nil
+}
+
+// graphsLabel summarizes the workload graph set for bench points: joined
+// names plus total vertex and edge counts.
+func graphsLabel(graphs []*SeededGraph) (label string, n, m int) {
+	names := make([]string, 0, len(graphs))
+	for _, sg := range graphs {
+		names = append(names, sg.Name)
+		n += sg.N()
+		m += sg.M()
+	}
+	return strings.Join(names, "+"), n, m
+}
+
+// benchRow builds one bench.Point row under the load-harness schema.
+// Server-counter deltas only make sense run-wide, so per-cohort rows pass
+// a nil run.
+func benchRow(experiment, graphLabel string, n, m int, offered float64, sum CohortSummary, run *RunResult) bench.Point {
+	pt := bench.Point{
+		Experiment:  experiment,
+		Graph:       graphLabel,
+		Engine:      "server",
+		N:           n,
+		M:           m,
+		Cohort:      sum.Cohort,
+		OfferedRPS:  offered,
+		AchievedRPS: sum.RPS,
+		GoodputRPS:  sum.GoodputRPS,
+		P50MS:       sum.Lat.P50MS,
+		P95MS:       sum.Lat.P95MS,
+		P99MS:       sum.Lat.P99MS,
+		MaxMS:       sum.Lat.MaxMS,
+		Requests:    int64(sum.Requests),
+		ReqErrors:   int64(sum.Errors),
+	}
+	if run != nil {
+		pt.WallSec = run.Elapsed.Seconds()
+		d := statsDelta(run.StatsBefore, run.StatsAfter)
+		pt.CacheHits = d.CacheHits
+		pt.Coalesced = d.Coalesced
+		pt.WarmSeeds = d.WarmSeeds
+		pt.CacheEvictions = d.Evictions
+	}
+	return pt
+}
+
+// BenchPoints converts one run into the mfbc-bench JSON point schema
+// (BENCH_*.json) under experiment "load-run": an aggregate row (Cohort
+// "all", carrying the server-counter deltas) plus one row per cohort.
+func (r *RunResult) BenchPoints(graphs []*SeededGraph) []bench.Point {
+	label, n, m := graphsLabel(graphs)
+	points := []bench.Point{benchRow("load-run", label, n, m, r.Offered, r.Total, r)}
+	for _, sum := range r.Cohorts {
+		points = append(points, benchRow("load-run", label, n, m, r.Offered, sum, nil))
+	}
+	return points
+}
+
+// BenchPoints converts a sweep into the same schema under experiment
+// "load-sweep": per rate step, one aggregate row plus one row per cohort,
+// with Saturated flagged per step and Knee: true on the aggregate row of
+// the knee rate.
+func (sr *SweepResult) BenchPoints(graphs []*SeededGraph) []bench.Point {
+	label, n, m := graphsLabel(graphs)
+	var points []bench.Point
+	for i, p := range sr.Points {
+		agg := benchRow("load-sweep", label, n, m, p.Offered, p.Run.Total, p.Run)
+		agg.Saturated = p.Saturated
+		agg.Knee = sr.KneeFound && i == sr.KneeIndex
+		points = append(points, agg)
+		for _, sum := range p.Run.Cohorts {
+			row := benchRow("load-sweep", label, n, m, p.Offered, sum, nil)
+			row.Saturated = p.Saturated
+			points = append(points, row)
+		}
+	}
+	return points
+}
+
+// statsDeltas holds the per-step change of the cumulative server
+// counters the harness reports.
+type statsDeltas struct {
+	CacheHits, Coalesced, WarmSeeds, Evictions int64
+}
+
+// statsDelta returns after − before on the scraped server counters.
+func statsDelta(before, after server.Stats) statsDeltas {
+	return statsDeltas{
+		CacheHits: after.CacheHits - before.CacheHits,
+		Coalesced: after.Coalesced - before.Coalesced,
+		WarmSeeds: after.WarmSeeds - before.WarmSeeds,
+		Evictions: after.Evictions - before.Evictions,
+	}
+}

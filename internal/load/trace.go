@@ -1,0 +1,49 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace records a generated trace as JSONL, one request per line —
+// the record side of record/replay. The encoding is lossless (durations
+// are nanosecond integers, weights are small integers), so a replayed
+// trace is identical to the generated one.
+func WriteTrace(w io.Writer, trace []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range trace {
+		if err := enc.Encode(&trace[i]); err != nil {
+			return fmt.Errorf("load: write trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace replays a JSONL trace written by WriteTrace. Blank lines are
+// skipped; anything else that fails to parse is an error, not a silent
+// drop.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var trace []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(b, &req); err != nil {
+			return nil, fmt.Errorf("load: trace line %d: %w", line, err)
+		}
+		trace = append(trace, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: read trace: %w", err)
+	}
+	return trace, nil
+}

@@ -44,7 +44,7 @@ func NewMux(s *Server) *http.ServeMux {
 		}
 		info, err := s.GenerateGraph(r.PathValue("name"), spec)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)

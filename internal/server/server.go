@@ -109,7 +109,7 @@ type Server struct {
 	cache    map[string]*list.Element // guarded by mu; cache key → element of lru
 	lru      *list.List               // guarded by mu; front = most recently used *cacheEntry
 	flight   map[string]*flightCall   // guarded by mu; cache key → in-flight computation
-	mutLocks map[string]*sync.Mutex   // guarded by mu; graph name → mutation serializer
+	mutLocks map[string]*sync.Mutex   // guarded by mu; graph name → mutation serializer (never deleted; see Evict)
 	stats    Stats                    // guarded by mu
 }
 
@@ -153,7 +153,13 @@ type Stats struct {
 	Computes     int64 `json:"computes"`      // underlying engine runs started
 	Evictions    int64 `json:"evictions"`     // cache entries dropped (LRU or purge)
 	Mutations    int64 `json:"mutations"`     // mutation batches applied
-	WarmSeeds    int64 `json:"warm_seeds"`    // cache entries seeded from dynamic-engine scores (all variants)
+	// MutateConflicts counts Mutate calls that lost to a concurrent
+	// replacement (ErrGraphConflict); ComputeErrors counts underlying
+	// engine runs that returned an error. Both are scraped by the load
+	// harness to separate server-side failures from client-side ones.
+	MutateConflicts int64 `json:"mutate_conflicts"`
+	ComputeErrors   int64 `json:"compute_errors"`
+	WarmSeeds       int64 `json:"warm_seeds"` // cache entries seeded from dynamic-engine scores (all variants)
 	// Per-variant warm-seed counters: the default exact key, the
 	// normalized transform, the distributed-procs keys (DynProcs > 1), and
 	// the number of precomputed top-k rankings attached to seeded entries.
@@ -262,6 +268,15 @@ func (s *Server) GenerateGraph(name string, spec GraphSpec) (GraphInfo, error) {
 
 // Evict removes the named graph and purges its cached results. In-flight
 // computations against the old graph finish normally for their waiters.
+//
+// The per-name mutation serializer (mutLocks) deliberately survives the
+// eviction: an in-flight Mutate may hold or be queued on it, and if the
+// name is re-registered, a freshly minted mutex would let two mutation
+// batches for one graph run concurrently — the queued batch would then
+// lose the install race and fail with a spurious ErrGraphConflict. Keeping
+// the serializer keyed by name for the server's lifetime preserves
+// per-graph ordering across evict/re-register cycles; the map grows only
+// with the set of distinct names ever mutated.
 func (s *Server) Evict(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,7 +284,6 @@ func (s *Server) Evict(name string) error {
 		return ErrGraphNotFound
 	}
 	delete(s.graphs, name)
-	delete(s.mutLocks, name)
 	s.purgeLocked(name)
 	return nil
 }
@@ -412,6 +426,7 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 		// Evicted or replaced while the batch computed; the engine's state
 		// is orphaned with it and the caller must retry against whatever is
 		// registered now.
+		s.stats.MutateConflicts++
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrGraphConflict, name)
 	}
@@ -667,6 +682,7 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 	s.mu.Lock()
 	delete(s.flight, key)
 	if err != nil {
+		s.stats.ComputeErrors++
 		s.mu.Unlock()
 		fc.err = err
 		close(fc.done)
