@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -79,6 +80,7 @@ type cliConfig struct {
 	jsonPath string
 	record   string
 	replay   string
+	traceOut string
 	quick    bool
 }
 
@@ -105,6 +107,7 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.StringVar(&c.jsonPath, "json", "", "write bench points (mfbc-bench schema) to this file")
 	fs.StringVar(&c.record, "record", "", "record the generated open-loop trace to this JSONL file")
 	fs.StringVar(&c.replay, "replay", "", "replay an open-loop trace from this JSONL file instead of generating")
+	fs.StringVar(&c.traceOut, "trace-out", "", "in-process mode: enable request tracing on the embedded server and stream finished traces to this JSONL file")
 	fs.BoolVar(&c.quick, "quick", false, "CI preset: small in-process saturation sweep (overrides most knobs)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
@@ -244,9 +247,23 @@ func run(cfg cliConfig, out io.Writer) error {
 
 	var tg load.Target
 	if cfg.addr != "" {
+		if cfg.traceOut != "" {
+			return fmt.Errorf("-trace-out drives the in-process server; against a live server use mfbc-serve -trace-out")
+		}
 		tg = load.NewHTTPTarget(cfg.addr, 2*cfg.inflight)
 	} else {
-		tg = load.NewInprocTarget(server.Config{Workers: cfg.workers, CacheSize: cfg.cache})
+		scfg := server.Config{Workers: cfg.workers, CacheSize: cfg.cache}
+		if cfg.traceOut != "" {
+			f, err := os.Create(cfg.traceOut)
+			if err != nil {
+				return fmt.Errorf("-trace-out: %w", err)
+			}
+			defer f.Close()
+			tracer := obs.NewTracer(64)
+			tracer.SetSink(f)
+			scfg.Tracer = tracer
+		}
+		tg = load.NewInprocTarget(scfg)
 	}
 	defer tg.Close()
 	if err := load.Seed(tg, graphs); err != nil {
@@ -273,6 +290,11 @@ func run(cfg cliConfig, out io.Writer) error {
 			return err
 		}
 		printSweep(out, res)
+		for _, p := range res.Points {
+			if err := p.Run.CrossCheck(); err != nil {
+				fmt.Fprintf(out, "WARNING (rate %.0f): %v\n", p.Offered, err)
+			}
+		}
 		points = res.BenchPoints(graphs)
 
 	case "run":
@@ -281,6 +303,9 @@ func run(cfg cliConfig, out io.Writer) error {
 			return err
 		}
 		printRun(out, res)
+		if err := res.CrossCheck(); err != nil {
+			fmt.Fprintf(out, "WARNING: %v\n", err)
+		}
 		points = res.BenchPoints(graphs)
 
 	default:
@@ -366,6 +391,14 @@ func printRun(out io.Writer, res *load.RunResult) {
 	printCohorts(tw, res.Cohorts)
 	printCohorts(tw, []load.CohortSummary{res.Total})
 	tw.Flush()
+	if ss := res.ServerSummary(); ss != nil {
+		clip := ""
+		if ss.Clipped {
+			clip = " (quantile past last finite bucket; edges clipped)"
+		}
+		fmt.Fprintf(out, "server side: %d requests, p50≤%.1fms p95≤%.1fms p99≤%.1fms%s\n",
+			ss.Requests, ss.P50MS, ss.P95MS, ss.P99MS, clip)
+	}
 }
 
 func printSweep(out io.Writer, res *load.SweepResult) {

@@ -201,3 +201,62 @@ func TestClosedLoopCLI(t *testing.T) {
 		t.Fatal("unknown flag must be rejected")
 	}
 }
+
+// TestTraceOutAndServerSummary pins the observability wiring of the CLI:
+// -trace-out streams the embedded server's request traces to JSONL, the
+// run report carries the server-side /metrics summary, and the bench
+// points carry the server-observed request count and percentiles.
+func TestTraceOutAndServerSummary(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	jsonPath := filepath.Join(dir, "points.json")
+	cfg, err := parseFlags([]string{
+		"-mode", "run", "-loop", "closed", "-duration", "300ms",
+		"-graphs", "g=grid:6x6x5", "-trace-out", tracePath, "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "server side: ") {
+		t.Fatalf("run output missing server-side summary:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "WARNING") {
+		t.Fatalf("client/server cross-check failed:\n%s", out.String())
+	}
+
+	traces, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"http.query"`, `"name":"server.query"`} {
+		if !strings.Contains(string(traces), want) {
+			t.Fatalf("trace JSONL missing %q", want)
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []bench.Point
+	if err := json.Unmarshal(raw, &points); err != nil {
+		t.Fatal(err)
+	}
+	agg := points[0]
+	if agg.Cohort != "all" || agg.ServerRequests == 0 || agg.ServerRequests != agg.Requests {
+		t.Fatalf("aggregate point server fields: %+v", agg)
+	}
+	if !(agg.ServerP99MS > 0) || agg.ServerP50MS > agg.ServerP99MS {
+		t.Fatalf("server percentiles inconsistent: %+v", agg)
+	}
+
+	// -trace-out cannot instrument a remote server.
+	cfg.addr = "http://127.0.0.1:1"
+	if err := run(cfg, &out); err == nil || !strings.Contains(err.Error(), "-trace-out") {
+		t.Fatalf("live-server -trace-out must be rejected, got %v", err)
+	}
+}

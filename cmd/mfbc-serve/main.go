@@ -11,6 +11,7 @@
 //	mfbc-serve -addr :8080
 //	mfbc-serve -addr :8080 -preload social=graph.txt -cache 512 -workers 0 -dirty 0.25
 //	mfbc-serve -addr :8080 -dyn-procs 16 -log-compact 8192 -log-truncate
+//	mfbc-serve -addr :8080 -trace-out traces.jsonl -slow-query 500ms -debug-addr 127.0.0.1:6060
 //
 // Then:
 //
@@ -28,6 +29,14 @@
 // against slow-drip clients; see -read-header-timeout and friends) and
 // SIGINT/SIGTERM drain in-flight requests for -shutdown-grace before the
 // process exits.
+//
+// Observability: GET /metrics serves the Prometheus-text metric registry
+// and GET /debug/traces the recent request traces as JSONL (bounded ring,
+// -trace-buf entries; -trace-buf 0 disables tracing). -trace-out streams
+// every finished trace to a JSONL file as it completes. -slow-query logs a
+// structured warning for any request slower than the threshold. -debug-addr
+// opens a second, operator-only listener carrying net/http/pprof plus
+// /metrics and /debug/traces — keep it off the public address.
 package main
 
 import (
@@ -35,15 +44,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -64,21 +75,45 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	writeTimeout := flag.Duration("write-timeout", 0, "max time to write a response (0 = unlimited; exact queries on large graphs can be slow)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
+	traceBuf := flag.Int("trace-buf", 256, "request traces retained for GET /debug/traces (0 disables tracing)")
+	traceOut := flag.String("trace-out", "", "append every finished request trace to this JSONL file")
+	slowQuery := flag.Duration("slow-query", 0, "log a structured warning for requests slower than this (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "operator-only listener with net/http/pprof, /metrics, and /debug/traces (empty = off)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	s, err := buildServer(serveConfig{
 		workers: *workers, cache: *cache, dirty: *dirty,
 		dynProcs: *dynProcs, dynCacheSets: *dynCacheSets,
 		dynSamples: *dynSamples, dynRefresh: *dynRefresh,
 		logCompact: *logCompact, logTruncate: *logTruncate,
+		traceBuf: *traceBuf, slowQuery: *slowQuery, logger: logger,
 	}, *preload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		tr := s.Tracer()
+		if tr == nil {
+			fmt.Fprintln(os.Stderr, "mfbc-serve: -trace-out needs tracing enabled (-trace-buf > 0)")
+			os.Exit(1)
+		}
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr.SetSink(f)
+		logger.Info("streaming traces", "path", *traceOut)
+	}
 	for _, info := range s.Graphs() {
-		log.Printf("preloaded graph %q: n=%d m=%d directed=%v weighted=%v version=%016x",
-			info.Name, info.N, info.M, info.Directed, info.Weighted, info.Version)
+		logger.Info("preloaded graph", "name", info.Name, "n", info.N, "m", info.M,
+			"directed", info.Directed, "weighted", info.Weighted,
+			"version", fmt.Sprintf("%016x", info.Version))
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -92,11 +127,50 @@ func main() {
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("mfbc-serve listening on %s", l.Addr())
-	if err := serve(ctx, srv, l, *shutdownGrace); err != nil {
-		log.Fatalf("mfbc-serve: %v", err)
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
+			os.Exit(1)
+		}
+		dsrv := &http.Server{Handler: debugMux(s), ReadHeaderTimeout: *readHeaderTimeout}
+		go func() {
+			if err := dsrv.Serve(dl); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer dsrv.Close()
+		logger.Info("debug listener on", "addr", dl.Addr().String())
 	}
-	log.Printf("mfbc-serve: drained and shut down")
+
+	logger.Info("mfbc-serve listening", "addr", l.Addr().String())
+	if err := serve(ctx, srv, l, *shutdownGrace); err != nil {
+		logger.Error("mfbc-serve", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("mfbc-serve: drained and shut down")
+}
+
+// debugMux is the operator-only surface served on -debug-addr: the pprof
+// endpoints plus the same /metrics and /debug/traces the API mux carries,
+// so a locked-down deployment can keep all three off the public address.
+func debugMux(s *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", s.Registry().Handler())
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tr := s.Tracer(); tr != nil {
+			tr.Handler().ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return mux
 }
 
 // httpTimeouts carries the connection-hardening knobs into newHTTPServer.
@@ -148,16 +222,29 @@ type serveConfig struct {
 	dynSamples, dynRefresh int
 	logCompact             int
 	logTruncate            bool
+	traceBuf               int
+	slowQuery              time.Duration
+	logger                 *slog.Logger
 }
 
 // buildServer wires flags into a ready service; split from main so the
-// end-to-end test drives the exact production configuration.
+// end-to-end test drives the exact production configuration. The serving
+// binary is the one place the Go-runtime gauges are registered: library
+// constructors keep the registry deterministic for byte-identical scrape
+// tests.
 func buildServer(cfg serveConfig, preload string) (*server.Server, error) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	var tracer *obs.Tracer
+	if cfg.traceBuf > 0 {
+		tracer = obs.NewTracer(cfg.traceBuf)
+	}
 	s := server.New(server.Config{
 		Workers: cfg.workers, CacheSize: cfg.cache, DirtyThreshold: cfg.dirty,
 		DynProcs: cfg.dynProcs, DynCacheSets: cfg.dynCacheSets,
 		DynSampleBudget: cfg.dynSamples, DynRefreshEvery: cfg.dynRefresh,
 		LogCompactAt: cfg.logCompact, LogTruncate: cfg.logTruncate,
+		Metrics: reg, Tracer: tracer, Logger: cfg.logger, SlowQuery: cfg.slowQuery,
 	})
 	for _, pair := range strings.Split(preload, ",") {
 		pair = strings.TrimSpace(pair)

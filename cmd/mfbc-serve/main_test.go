@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -259,5 +260,119 @@ func TestServeCleanCloseWithoutSignal(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("serve returned %v on direct close, want nil", err)
+	}
+}
+
+// TestObservabilitySurface drives the production wiring's observability
+// stack: traced requests land in /debug/traces and the -trace-out JSONL
+// sink, /metrics carries both the server counters and the runtime gauges
+// only the serving binary registers, and the -debug-addr mux exposes
+// pprof alongside them.
+func TestObservabilitySurface(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.jsonl")
+	s, err := buildServer(serveConfig{workers: 1, cache: 16, traceBuf: 8}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s.Tracer().SetSink(f)
+
+	ts := httptest.NewServer(server.NewMux(s))
+	defer ts.Close()
+	get := func(base, path string, wantStatus int) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d want %d", path, resp.StatusCode, wantStatus)
+		}
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	b, _ := json.Marshal(server.GraphSpec{Kind: "grid", Rows: 4, Cols: 4, Seed: 1})
+	resp, err := http.Post(ts.URL+"/graphs/g", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	b, _ = json.Marshal(server.QueryRequest{Graph: "g", K: 3})
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	metrics := get(ts.URL, "/metrics", http.StatusOK)
+	for _, want := range []string{"mfbc_queries_total 1", "go_goroutines", "go_heap_alloc_bytes"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Root spans flush to the ring (and sink) just after the response; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	var traces string
+	for {
+		traces = get(ts.URL, "/debug/traces", http.StatusOK)
+		if strings.Contains(traces, `"name":"http.query"`) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{`"name":"http.query"`, `"name":"server.query"`, `"name":"http.register"`} {
+		if !strings.Contains(traces, want) {
+			t.Errorf("/debug/traces missing %q in %q", want, traces)
+		}
+	}
+	sunk, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sunk), `"name":"http.query"`) {
+		t.Errorf("-trace-out sink missing http.query trace: %q", sunk)
+	}
+
+	// The operator-only mux: pprof index plus the same two endpoints.
+	dts := httptest.NewServer(debugMux(s))
+	defer dts.Close()
+	if idx := get(dts.URL, "/debug/pprof/", http.StatusOK); !strings.Contains(idx, "goroutine") {
+		t.Error("pprof index missing goroutine profile")
+	}
+	if m := get(dts.URL, "/metrics", http.StatusOK); !strings.Contains(m, "mfbc_queries_total") {
+		t.Error("debug mux /metrics missing server counters")
+	}
+	get(dts.URL, "/debug/traces", http.StatusOK)
+}
+
+// TestBuildServerTracingDisabled: -trace-buf 0 yields a nil tracer and a
+// 404 on both trace endpoints.
+func TestBuildServerTracingDisabled(t *testing.T) {
+	s, err := buildServer(serveConfig{workers: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracer() != nil {
+		t.Fatal("traceBuf 0 must disable tracing")
+	}
+	dts := httptest.NewServer(debugMux(s))
+	defer dts.Close()
+	resp, err := http.Get(dts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug traces without tracer: %d want 404", resp.StatusCode)
 	}
 }

@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dynamic"
@@ -189,7 +190,14 @@ func dynCommReport(c dynamic.CommStats) CommReport {
 // Apply atomically applies one mutation batch and refreshes the scores.
 // On error (an invalid mutation anywhere in the batch) nothing is applied.
 func (d *DynamicBC) Apply(batch []Mutation) (ApplyReport, error) {
-	rep, err := d.eng.Apply(batch)
+	return d.ApplyCtx(context.Background(), batch)
+}
+
+// ApplyCtx is Apply with trace propagation: when ctx carries an
+// observability span (internal/obs), the engine attaches child spans for
+// the apply, its probes, and every machine region it runs.
+func (d *DynamicBC) ApplyCtx(ctx context.Context, batch []Mutation) (ApplyReport, error) {
+	rep, err := d.eng.ApplyCtx(ctx, batch)
 	if err != nil {
 		return ApplyReport{}, err
 	}

@@ -107,6 +107,16 @@ type Point struct {
 	CacheEvictions int64   `json:"cache_evictions,omitempty"`
 	Saturated      bool    `json:"saturated,omitempty"`
 	Knee           bool    `json:"knee,omitempty"`
+	// Server-side observability fields (aggregate load rows only): the
+	// request count and latency percentiles the server itself measured
+	// over the run, from the /metrics histogram deltas of the query and
+	// mutate routes. Percentiles resolve to histogram bucket upper edges,
+	// so they are coarser than — and an independent check on — the
+	// client-side recorder's P50MS/P95MS/P99MS.
+	ServerRequests int64   `json:"server_requests,omitempty"`
+	ServerP50MS    float64 `json:"server_p50_ms,omitempty"`
+	ServerP95MS    float64 `json:"server_p95_ms,omitempty"`
+	ServerP99MS    float64 `json:"server_p99_ms,omitempty"`
 }
 
 // Experiments lists the available experiment ids in presentation order.

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -229,11 +230,22 @@ func applyEdits(cur []sparse.Entry[float64], edits []spgemm.StationaryEdit[float
 // Stationary working sets staged by earlier runs of this session are warm
 // cache hits: only the frontier matrices move.
 func (s *DistSession) Run(sources []int32) (*DistResult, error) {
+	return s.RunCtx(context.Background(), sources)
+}
+
+// RunCtx is Run with trace propagation: when ctx carries an obs span, the
+// region's modeled-vs-measured stats are attached as a machine.region
+// child span with one grandchild per attributed phase.
+func (s *DistSession) RunCtx(ctx context.Context, sources []int32) (*DistResult, error) {
 	nb := Options{Batch: s.opt.Batch}.batchFor(s.g.N)
 	if sources != nil && len(sources) < nb {
 		nb = len(sources)
 	}
-	return s.run(sources, nb)
+	res, err := s.run(sources, nb)
+	if err == nil {
+		recordRegionSpan(ctx, "run", s.p, res.Stats)
+	}
+	return res, err
 }
 
 // run executes one simulated-machine region over the resident operands.

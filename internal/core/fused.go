@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -69,6 +70,13 @@ type IncrementalResult struct {
 // the effective edge diff between the session's topology and newG, as for
 // Patch. newAdj is newG's adjacency (rebuilt when nil).
 func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, newAdj *sparse.CSR[float64], diffs []EdgeDiff, newSources []int32) (*IncrementalResult, error) {
+	return s.ApplyIncrementalCtx(context.Background(), oldSources, newG, newAdj, diffs, newSources)
+}
+
+// ApplyIncrementalCtx is ApplyIncremental with trace propagation: when ctx
+// carries an obs span, the fused region's modeled-vs-measured stats are
+// attached as a machine.region child span with per-phase grandchildren.
+func (s *DistSession) ApplyIncrementalCtx(ctx context.Context, oldSources []int32, newG *graph.Graph, newAdj *sparse.CSR[float64], diffs []EdgeDiff, newSources []int32) (*IncrementalResult, error) {
 	if newG.N != s.g.N {
 		return nil, fmt.Errorf("core: fused apply needs a fixed vertex set (%d → %d); use Reset + Run", s.g.N, newG.N)
 	}
@@ -191,6 +199,7 @@ func (s *DistSession) ApplyIncremental(oldSources []int32, newG *graph.Graph, ne
 	res.Iterations = itersPer[0]
 	copy(res.OldBC, oldPer[0])
 	copy(res.NewBC, newPer[0])
+	recordRegionSpan(ctx, "fused-apply", s.p, res.Stats)
 	return res, nil
 }
 

@@ -42,6 +42,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
 )
@@ -175,6 +177,10 @@ type PhaseComm struct {
 	Msgs     int64   `json:"msgs"`
 	Flops    int64   `json:"flops"`
 	ModelSec float64 `json:"model_sec"`
+	// WallMS is the measured host wall-clock of the phase in milliseconds
+	// (max over ranks, summed over merged regions) — the observability
+	// counterpart of the modeled ModelSec.
+	WallMS float64 `json:"wall_ms"`
 }
 
 // mergePhases folds a region's phase breakdown into the apply's, by name.
@@ -187,6 +193,7 @@ func mergePhases(acc []PhaseComm, phases []machine.PhaseStats) []PhaseComm {
 				acc[i].Msgs += ph.MaxCost.Msgs
 				acc[i].Flops += ph.MaxCost.Flops
 				acc[i].ModelSec += ph.ModelSec
+				acc[i].WallMS += float64(ph.Wall.Microseconds()) / 1e3
 				found = true
 				break
 			}
@@ -195,6 +202,7 @@ func mergePhases(acc []PhaseComm, phases []machine.PhaseStats) []PhaseComm {
 			acc = append(acc, PhaseComm{
 				Name: ph.Name, Bytes: ph.MaxCost.Bytes, Msgs: ph.MaxCost.Msgs,
 				Flops: ph.MaxCost.Flops, ModelSec: ph.ModelSec,
+				WallMS: float64(ph.Wall.Microseconds()) / 1e3,
 			})
 		}
 	}
@@ -353,7 +361,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		st.comm = commOf(r.Stats)
 		e.dist = sess
 	} else {
-		st.bc = e.fullExact(st)
+		st.bc = e.fullExact(context.Background(), st)
 	}
 	// The engine is not shared yet, but publishing the initial snapshot
 	// under the lock keeps the guarded-field discipline uniform (and the
@@ -470,6 +478,17 @@ func (e *Engine) truncateLogLocked(st *state) {
 // private clone first). Readers concurrent with Apply see either the old
 // or the new snapshot, never a mix.
 func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
+	return e.ApplyCtx(context.Background(), batch)
+}
+
+// ApplyCtx is Apply with trace propagation: when ctx carries an obs span,
+// the apply reports itself as a dynamic.apply child span, the
+// affected-source probes and local sweeps as grandchildren, and every
+// machine region as a machine.region span whose per-phase children pair
+// modeled cost with measured wall-clock.
+func (e *Engine) ApplyCtx(ctx context.Context, batch []graph.Mutation) (Report, error) {
+	ctx, span := obs.StartSpan(ctx, "dynamic.apply")
+	defer span.End()
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 
@@ -519,13 +538,13 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 			return err
 		}
 		if useDist {
-			bc, err := e.distRun(nil)
+			bc, err := e.distRun(ctx, nil)
 			if err != nil {
 				return err
 			}
 			st.bc = bc
 		} else {
-			st.bc = e.fullExact(st)
+			st.bc = e.fullExact(ctx, st)
 		}
 		strategy = StrategyFull
 		return nil
@@ -535,7 +554,7 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 		if err := advance(); err != nil {
 			return Report{}, err
 		}
-		bc, err := e.sampledScores(st)
+		bc, err := e.sampledScores(ctx, st)
 		if err != nil {
 			return Report{}, err
 		}
@@ -549,7 +568,10 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 			return Report{}, err
 		}
 	default:
+		_, probe := obs.StartSpan(ctx, "dynamic.probe")
 		affected = affectedSources(old, st, diffs, e.cfg.Workers)
+		probe.SetAttr("affected", len(affected)).SetAttr("diffs", len(diffs))
+		probe.End()
 		frac := 0.0
 		if newG.N > 0 {
 			frac = float64(len(affected)) / float64(newG.N)
@@ -566,10 +588,10 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 			// regions, which a fused region (diff scatter + full splice +
 			// empty sweep + O(n) reduce) would only make more expensive.
 			if e.fuseEligible(old, newG) && len(affected) > 0 {
-				bc, err = e.fusedIncrementalScores(old, st, affected, diffs)
+				bc, err = e.fusedIncrementalScores(ctx, old, st, affected, diffs)
 				fused = err == nil
 			} else {
-				bc, err = e.incrementalScores(old, st, affected, advance)
+				bc, err = e.incrementalScores(ctx, old, st, affected, advance)
 			}
 			if err != nil {
 				return Report{}, err
@@ -596,6 +618,9 @@ func (e *Engine) Apply(batch []graph.Mutation) (Report, error) {
 	if !useDist {
 		rep.Procs = 0
 	}
+	span.SetAttr("strategy", string(strategy)).SetAttr("applied", len(batch)).
+		SetAttr("affected", len(affected)).SetAttr("fused", fused).
+		SetAttr("seq", st.seq)
 
 	e.mu.Lock()
 	e.cur = st
@@ -675,8 +700,8 @@ func (e *Engine) dropSession() {
 // topology, folding its modeled cost into the apply's communication. On
 // error the session is dropped so the next apply rebuilds it from the
 // committed snapshot (the resident operands may be mid-transition).
-func (e *Engine) distRun(sources []int32) ([]float64, error) {
-	r, err := e.dist.Run(sources)
+func (e *Engine) distRun(ctx context.Context, sources []int32) ([]float64, error) {
+	r, err := e.dist.RunCtx(ctx, sources)
 	if err != nil {
 		e.dropSession()
 		return nil, fmt.Errorf("dynamic: distributed run: %w", err)
@@ -695,12 +720,12 @@ func (e *Engine) distRun(sources []int32) ([]float64, error) {
 // arithmetic — subtract the old-side partials, add the new-side partials —
 // is the exact operation sequence of the two-region path, and the side
 // partials themselves are bit-identical to it under a fixed plan.
-func (e *Engine) fusedIncrementalScores(old, st *state, affected []int32, diffs []edgeDiff) ([]float64, error) {
+func (e *Engine) fusedIncrementalScores(ctx context.Context, old, st *state, affected []int32, diffs []edgeDiff) ([]float64, error) {
 	sess, err := e.session(old)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sess.ApplyIncremental(affected, st.g, st.a, coreDiffs(diffs), affected)
+	res, err := sess.ApplyIncrementalCtx(ctx, affected, st.g, st.a, coreDiffs(diffs), affected)
 	if err != nil {
 		// The resident operands may be mid-transition; rebuild from the
 		// committed snapshot on the next apply.
@@ -744,7 +769,7 @@ func sampleErrBound(n, k int) float64 {
 // pivots — on the simulated machine in distributed mode, where the old
 // side runs against the still-resident pre-batch operands, advance patches
 // in the diff, and the new side reuses the freshly patched blocks.
-func (e *Engine) incrementalScores(old, st *state, affected []int32, advance func() error) ([]float64, error) {
+func (e *Engine) incrementalScores(ctx context.Context, old, st *state, affected []int32, advance func() error) ([]float64, error) {
 	bc := make([]float64, st.g.N)
 	copy(bc, old.bc)
 
@@ -764,7 +789,7 @@ func (e *Engine) incrementalScores(old, st *state, affected []int32, advance fun
 			return nil, err
 		}
 		if len(oldAff) > 0 {
-			delta, err := e.distRun(oldAff)
+			delta, err := e.distRun(ctx, oldAff)
 			if err != nil {
 				return nil, err
 			}
@@ -776,7 +801,7 @@ func (e *Engine) incrementalScores(old, st *state, affected []int32, advance fun
 			return nil, err
 		}
 		if len(affected) > 0 {
-			delta, err := e.distRun(affected)
+			delta, err := e.distRun(ctx, affected)
 			if err != nil {
 				return nil, err
 			}
@@ -786,13 +811,13 @@ func (e *Engine) incrementalScores(old, st *state, affected []int32, advance fun
 		}
 	} else {
 		if len(oldAff) > 0 {
-			delta := e.pivotScores(old, oldAff)
+			delta := e.pivotScores(ctx, old, oldAff)
 			for v := 0; v < oldN; v++ {
 				bc[v] -= delta[v]
 			}
 		}
 		if len(affected) > 0 {
-			delta := e.pivotScores(st, affected)
+			delta := e.pivotScores(ctx, st, affected)
 			for v := range bc {
 				bc[v] += delta[v]
 			}
@@ -816,8 +841,10 @@ func clampResidue(bc []float64) {
 
 // fullExact recomputes exact scores with the snapshot's cached operands:
 // core.MFBC's batching without rebuilding A and Aᵀ.
-func (e *Engine) fullExact(st *state) []float64 {
+func (e *Engine) fullExact(ctx context.Context, st *state) []float64 {
+	_, span := obs.StartSpan(ctx, "sweep.local")
 	n := st.g.N
+	defer span.SetAttr("sources", n).End()
 	bc := make([]float64, n)
 	nb := e.batchSize(n)
 	for lo := 0; lo < n; lo += nb {
@@ -837,7 +864,9 @@ func (e *Engine) fullExact(st *state) []float64 {
 // pivotScores runs batched MFBC sweeps for exactly the given sources over
 // the snapshot's cached operands and returns their accumulated dependency
 // contributions.
-func (e *Engine) pivotScores(st *state, sources []int32) []float64 {
+func (e *Engine) pivotScores(ctx context.Context, st *state, sources []int32) []float64 {
+	_, span := obs.StartSpan(ctx, "sweep.local")
+	defer span.SetAttr("sources", len(sources)).End()
 	bc := make([]float64, st.g.N)
 	nb := e.batchSize(len(sources))
 	for lo := 0; lo < len(sources); lo += nb {
@@ -854,7 +883,7 @@ func (e *Engine) pivotScores(st *state, sources []int32) []float64 {
 // by n/samples, exactly like repro.ApproximateBC's estimator. In
 // distributed mode the sample sweep runs on the simulated machine (the
 // session must already hold the snapshot's topology).
-func (e *Engine) sampledScores(st *state) ([]float64, error) {
+func (e *Engine) sampledScores(ctx context.Context, st *state) ([]float64, error) {
 	n := st.g.N
 	budget := e.cfg.SampleBudget
 	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(st.seq)*0x9e3779b9))
@@ -866,12 +895,12 @@ func (e *Engine) sampledScores(st *state) ([]float64, error) {
 	var bc []float64
 	if e.cfg.Procs > 1 {
 		var err error
-		bc, err = e.distRun(sources)
+		bc, err = e.distRun(ctx, sources)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		bc = e.pivotScores(st, sources)
+		bc = e.pivotScores(ctx, st, sources)
 	}
 	scale := float64(n) / float64(budget)
 	for v := range bc {

@@ -24,6 +24,10 @@ func TestPhaseNames(t *testing.T) {
 	analysistest.Run(t, "testdata", PhaseNames, "phasenames")
 }
 
+func TestPhaseNamesObsTable(t *testing.T) {
+	analysistest.Run(t, "testdata", PhaseNames, "obs")
+}
+
 func TestDetSource(t *testing.T) {
 	analysistest.Run(t, "testdata", DetSource, "detsource/core")
 }

@@ -1,0 +1,16 @@
+// Fixture for the phasenames analyzer's obs phase-label-table check: the
+// package basename "obs" triggers coverage checking of the phaseLabels
+// map against the real canonical registry in repro/internal/machine.
+package obs
+
+// phaseLabels here misses the "reduce" phase of the real registry.
+var phaseLabels = map[string]string{ // want `missing machine phase "reduce"`
+	"stage": "stage",
+	"diff":  "diff",
+	"patch": "patch",
+	"probe": "probe",
+	"sweep": "sweep",
+}
+
+// otherTable is not the label table; never checked.
+var otherTable = map[string]string{"x": "y"}

@@ -31,6 +31,11 @@ type RunResult struct {
 	StatsBefore  server.Stats
 	StatsAfter   server.Stats
 	StatsWindows []StatsSample
+	// MetricsBefore/MetricsAfter bracket the run with full /metrics
+	// scrapes when the target implements MetricsScraper (nil otherwise);
+	// ServerSummary and CrossCheck derive from their delta.
+	MetricsBefore MetricsSnapshot
+	MetricsAfter  MetricsSnapshot
 }
 
 // scrapeLoop samples tg's server counters every window until stop is
@@ -74,6 +79,7 @@ func RunOpenLoop(tg Target, trace []Request, offered float64, window time.Durati
 	if err != nil {
 		return nil, fmt.Errorf("load: pre-run stats scrape: %w", err)
 	}
+	metricsBefore := scrapeMetrics(tg)
 
 	start := time.Now()
 	stop := make(chan struct{})
@@ -108,14 +114,16 @@ func RunOpenLoop(tg Target, trace []Request, offered float64, window time.Durati
 	}
 
 	return &RunResult{
-		Offered:      offered,
-		Elapsed:      elapsed,
-		Total:        rec.Total(elapsed),
-		Cohorts:      rec.Summaries(elapsed),
-		Windows:      rec.Windows(),
-		StatsBefore:  before,
-		StatsAfter:   after,
-		StatsWindows: <-scraped,
+		Offered:       offered,
+		Elapsed:       elapsed,
+		Total:         rec.Total(elapsed),
+		Cohorts:       rec.Summaries(elapsed),
+		Windows:       rec.Windows(),
+		StatsBefore:   before,
+		StatsAfter:    after,
+		StatsWindows:  <-scraped,
+		MetricsBefore: metricsBefore,
+		MetricsAfter:  scrapeMetrics(tg),
 	}, nil
 }
 
@@ -135,6 +143,7 @@ func RunClosedLoop(tg Target, cfg TraceConfig, window time.Duration) (*RunResult
 	if err != nil {
 		return nil, fmt.Errorf("load: pre-run stats scrape: %w", err)
 	}
+	metricsBefore := scrapeMetrics(tg)
 
 	start := time.Now()
 	stop := make(chan struct{})
@@ -181,12 +190,14 @@ func RunClosedLoop(tg Target, cfg TraceConfig, window time.Duration) (*RunResult
 	}
 
 	return &RunResult{
-		Elapsed:      elapsed,
-		Total:        rec.Total(elapsed),
-		Cohorts:      rec.Summaries(elapsed),
-		Windows:      rec.Windows(),
-		StatsBefore:  before,
-		StatsAfter:   after,
-		StatsWindows: <-scraped,
+		Elapsed:       elapsed,
+		Total:         rec.Total(elapsed),
+		Cohorts:       rec.Summaries(elapsed),
+		Windows:       rec.Windows(),
+		StatsBefore:   before,
+		StatsAfter:    after,
+		StatsWindows:  <-scraped,
+		MetricsBefore: metricsBefore,
+		MetricsAfter:  scrapeMetrics(tg),
 	}, nil
 }

@@ -1,0 +1,158 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestParseMetricsAndDelta(t *testing.T) {
+	before, err := ParseMetrics(`# HELP x_total help text
+# TYPE x_total counter
+x_total 3
+y{a="1",b="q r"} 2.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseMetrics("x_total 10\ny{a=\"1\",b=\"q r\"} 4\nz_new 7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := after.Delta(before)
+	if d["x_total"] != 7 || d[`y{a="1",b="q r"}`] != 1.5 || d["z_new"] != 7 {
+		t.Fatalf("delta = %v", d)
+	}
+	if _, err := ParseMetrics("lonelytoken\n"); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	if _, err := ParseMetrics("x notanumber\n"); err == nil {
+		t.Fatal("bad value must error")
+	}
+}
+
+func TestSeriesLabels(t *testing.T) {
+	name, labels := seriesLabels(`mfbc_http_requests_total{code="2xx",route="query"}`)
+	if name != "mfbc_http_requests_total" || labels["code"] != "2xx" || labels["route"] != "query" {
+		t.Fatalf("parsed %q %v", name, labels)
+	}
+	name, labels = seriesLabels("mfbc_queries_total")
+	if name != "mfbc_queries_total" || labels != nil {
+		t.Fatalf("unlabeled series parsed %q %v", name, labels)
+	}
+}
+
+// TestServerSideQuantiles pins the bucket-edge quantile math on a
+// synthetic delta: 90 requests in the ≤0.01 s bucket, 10 more in ≤0.1 s.
+func TestServerSideQuantiles(t *testing.T) {
+	d := MetricsSnapshot{
+		`mfbc_http_requests_total{code="2xx",route="query"}`:                  90.0,
+		`mfbc_http_requests_total{code="2xx",route="mutate"}`:                 10.0,
+		`mfbc_http_requests_total{code="2xx",route="stats"}`:                  5.0, // not harness-driven
+		`mfbc_http_request_duration_seconds_bucket{le="0.01",route="query"}`:  90.0,
+		`mfbc_http_request_duration_seconds_bucket{le="0.1",route="query"}`:   90.0,
+		`mfbc_http_request_duration_seconds_bucket{le="+Inf",route="query"}`:  90.0,
+		`mfbc_http_request_duration_seconds_bucket{le="0.01",route="mutate"}`: 0.0,
+		`mfbc_http_request_duration_seconds_bucket{le="0.1",route="mutate"}`:  10.0,
+		`mfbc_http_request_duration_seconds_bucket{le="+Inf",route="mutate"}`: 10.0,
+	}
+	ss := d.ServerSide()
+	if ss.Requests != 100 {
+		t.Fatalf("requests = %d, want 100 (stats route excluded)", ss.Requests)
+	}
+	// p50 rank 50 lands in the 0.01 s bucket; p95 rank 95 and p99 rank 99
+	// land in the 0.1 s bucket.
+	if ss.P50MS != 10 || ss.P95MS != 100 || ss.P99MS != 100 || ss.Clipped {
+		t.Fatalf("quantiles = %+v", ss)
+	}
+
+	// A quantile past the last finite edge clips and flags it.
+	clip := MetricsSnapshot{
+		`mfbc_http_request_duration_seconds_bucket{le="0.01",route="query"}`: 1.0,
+		`mfbc_http_request_duration_seconds_bucket{le="+Inf",route="query"}`: 2.0,
+	}
+	if ss := clip.ServerSide(); !ss.Clipped || ss.P99MS != 10 {
+		t.Fatalf("clipped quantiles = %+v", ss)
+	}
+
+	if ss := (MetricsSnapshot{}).ServerSide(); ss.Requests != 0 || ss.P99MS != 0 {
+		t.Fatalf("empty delta summary = %+v", ss)
+	}
+}
+
+// TestRunCrossCheckInproc drives a real closed-loop run and checks the
+// client-observed and server-observed request counts agree, and that the
+// server-side summary lands in the bench points.
+func TestRunCrossCheckInproc(t *testing.T) {
+	tg := NewInprocTarget(server.Config{Workers: 1, CacheSize: 64})
+	defer tg.Close()
+	graphs := testGraphs(t)
+	if err := Seed(tg, graphs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunClosedLoop(tg, TraceConfig{
+		Cohorts: []CohortSpec{
+			{Name: "readers", Kind: "topk", Weight: 3, Clients: 2},
+			{Name: "writers", Kind: "mutate", Weight: 1, Clients: 1},
+		},
+		Graphs:  graphs,
+		Horizon: 300 * time.Millisecond,
+		Seed:    7,
+	}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests == 0 {
+		t.Fatal("run made no requests")
+	}
+	ss := res.ServerSummary()
+	if ss == nil {
+		t.Fatal("in-process target must produce a server-side summary")
+	}
+	if ss.Requests != int64(res.Total.Requests) {
+		t.Fatalf("server counted %d requests, client observed %d (errors %d)",
+			ss.Requests, res.Total.Requests, res.Total.Errors)
+	}
+	if err := res.CrossCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if ss.P99MS <= 0 {
+		t.Fatalf("server-side p99 = %g, want > 0", ss.P99MS)
+	}
+
+	pts := res.BenchPoints(graphs)
+	agg := pts[0]
+	if agg.ServerRequests != ss.Requests || agg.ServerP99MS != ss.P99MS {
+		t.Fatalf("bench point server fields = %+v, want %+v", agg, ss)
+	}
+	for _, pt := range pts[1:] {
+		if pt.ServerRequests != 0 {
+			t.Fatalf("per-cohort row carries server fields: %+v", pt)
+		}
+	}
+}
+
+// TestCrossCheckMismatch: a fabricated disagreement must surface.
+func TestCrossCheckMismatch(t *testing.T) {
+	rec := NewRecorder(time.Second)
+	for i := 0; i < 5; i++ {
+		rec.Observe(Sample{Cohort: "c", Latency: time.Millisecond, OK: true})
+	}
+	r := &RunResult{
+		Total:         rec.Total(time.Second),
+		MetricsBefore: MetricsSnapshot{},
+		MetricsAfter: MetricsSnapshot{
+			`mfbc_http_requests_total{code="2xx",route="query"}`: 3.0,
+		},
+	}
+	err := r.CrossCheck()
+	if err == nil || !strings.Contains(err.Error(), "cross-check failed") {
+		t.Fatalf("cross-check err = %v", err)
+	}
+	r.MetricsBefore, r.MetricsAfter = nil, nil
+	if err := r.CrossCheck(); err != nil {
+		t.Fatalf("metrics-less run must pass vacuously: %v", err)
+	}
+}

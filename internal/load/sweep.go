@@ -157,6 +157,12 @@ func benchRow(experiment, graphLabel string, n, m int, offered float64, sum Coho
 		pt.Coalesced = d.Coalesced
 		pt.WarmSeeds = d.WarmSeeds
 		pt.CacheEvictions = d.Evictions
+		if ss := run.ServerSummary(); ss != nil {
+			pt.ServerRequests = ss.Requests
+			pt.ServerP50MS = ss.P50MS
+			pt.ServerP95MS = ss.P95MS
+			pt.ServerP99MS = ss.P99MS
+		}
 	}
 	return pt
 }

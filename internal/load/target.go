@@ -148,6 +148,20 @@ func (t *HTTPTarget) ServerStats() (server.Stats, error) {
 	return st, nil
 }
 
+// MetricsText scrapes GET /metrics (the MetricsScraper face).
+func (t *HTTPTarget) MetricsText() (string, error) {
+	resp, err := t.client.Get(t.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("load: /metrics: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
 func (t *HTTPTarget) Close() { t.client.CloseIdleConnections() }
 
 // InprocTarget drives a server in the same process through its HTTP
@@ -185,5 +199,8 @@ func (t *InprocTarget) Register(name string, spec server.GraphSpec) error {
 }
 
 func (t *InprocTarget) ServerStats() (server.Stats, error) { return t.s.Stats(), nil }
+
+// MetricsText renders the in-process registry directly (no HTTP hop).
+func (t *InprocTarget) MetricsText() (string, error) { return t.s.Registry().Text(), nil }
 
 func (t *InprocTarget) Close() {}

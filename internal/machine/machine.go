@@ -139,6 +139,11 @@ type PhaseStats struct {
 	PerProc  []Cost // this phase's cost on each processor
 	ModelSec float64
 	CommSec  float64
+	// Wall is the measured host wall-clock spent in this phase, maximized
+	// over processors (phases overlap in time across ranks, so the per-phase
+	// walls do not sum to RunStats.Wall). It is observability-only: modeled
+	// cost never depends on it.
+	Wall time.Duration
 }
 
 // Phase attributes all cost accrued from this call until the next Phase
@@ -160,17 +165,25 @@ func (p *Proc) Phase(name string) {
 // closePhase folds the open segment into its named bucket.
 func (p *Proc) closePhase() {
 	seg := p.cost.Sub(p.phaseMark)
+	now := time.Now() //lint:allow detsource wall-clock phase stat only; never feeds the cost model
+	var wallSeg time.Duration
+	if !p.phaseWallAt.IsZero() {
+		wallSeg = now.Sub(p.phaseWallAt)
+	}
+	p.phaseWallAt = now
 	if p.phaseName == "" && seg == (Cost{}) && len(p.phaseSeq) == 0 {
 		return // nothing attributed and no phases declared
 	}
 	for i, n := range p.phaseSeq {
 		if n == p.phaseName {
 			p.phaseCost[i] = p.phaseCost[i].Add(seg)
+			p.phaseWall[i] += wallSeg
 			return
 		}
 	}
 	p.phaseSeq = append(p.phaseSeq, p.phaseName)
 	p.phaseCost = append(p.phaseCost, seg)
+	p.phaseWall = append(p.phaseWall, wallSeg)
 }
 
 // phaseStats merges the per-proc phase buckets into the run's breakdown:
@@ -205,6 +218,9 @@ func phaseStats(m *Machine, procs []*Proc) []PhaseStats {
 				if pn == n {
 					ps.PerProc[r] = p.phaseCost[k]
 					ps.MaxCost = ps.MaxCost.Max(p.phaseCost[k])
+					if p.phaseWall[k] > ps.Wall {
+						ps.Wall = p.phaseWall[k]
+					}
 				}
 			}
 		}
@@ -224,7 +240,7 @@ func (m *Machine) Run(fn func(p *Proc)) (RunStats, error) {
 	var wg sync.WaitGroup
 	start := time.Now() //lint:allow detsource wall-clock run stat only; never feeds the cost model
 	for r := 0; r < m.P; r++ {
-		p := &Proc{rank: r, machine: m}
+		p := &Proc{rank: r, machine: m, phaseWallAt: start}
 		p.world = &Comm{state: world, rank: r, proc: p}
 		procs[r] = p
 		wg.Add(1)
@@ -265,12 +281,15 @@ type Proc struct {
 	world   *Comm
 	cost    Cost
 
-	// Phase-attribution bookkeeping: the open segment's name and the cost
-	// vector at its start, plus the closed buckets in declaration order.
-	phaseName string
-	phaseMark Cost
-	phaseSeq  []string
-	phaseCost []Cost
+	// Phase-attribution bookkeeping: the open segment's name, the cost
+	// vector and wall instant at its start, plus the closed buckets in
+	// declaration order (phaseCost and phaseWall parallel phaseSeq).
+	phaseName   string
+	phaseMark   Cost
+	phaseWallAt time.Time
+	phaseSeq    []string
+	phaseCost   []Cost
+	phaseWall   []time.Duration
 }
 
 // Rank returns the processor's world rank.

@@ -380,6 +380,30 @@ func TestRunPhaseAttribution(t *testing.T) {
 	}
 }
 
+func TestRunPhaseWallClock(t *testing.T) {
+	m := New(2)
+	stats, err := m.Run(func(pr *Proc) {
+		pr.Phase("stage")
+		time.Sleep(2 * time.Millisecond)
+		pr.Phase("sweep")
+		time.Sleep(1 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Phases) != 2 {
+		t.Fatalf("want 2 phases, got %+v", stats.Phases)
+	}
+	for _, ph := range stats.Phases {
+		if ph.Wall <= 0 {
+			t.Errorf("phase %q wall = %v, want > 0", ph.Name, ph.Wall)
+		}
+		if ph.Wall > stats.Wall {
+			t.Errorf("phase %q wall %v exceeds region wall %v", ph.Name, ph.Wall, stats.Wall)
+		}
+	}
+}
+
 func TestRunWithoutPhasesReportsNone(t *testing.T) {
 	m := New(2)
 	stats, err := m.Run(func(pr *Proc) {

@@ -1,0 +1,42 @@
+package obs
+
+import "repro/internal/machine"
+
+// phaseLabels maps every canonical machine phase to the stable metric
+// label used on per-phase counter families and phase span names. The keys
+// MUST cover machine.CanonicalPhases() — the mfbc-lint phasenames analyzer
+// enforces it, so adding a phase to the machine registry without extending
+// this table fails lint, and metric label sets never drift from the phase
+// registry.
+var phaseLabels = map[string]string{
+	machine.PhaseStage:  "stage",
+	machine.PhaseDiff:   "diff",
+	machine.PhasePatch:  "patch",
+	machine.PhaseProbe:  "probe",
+	machine.PhaseSweep:  "sweep",
+	machine.PhaseReduce: "reduce",
+}
+
+// PhaseLabel returns the metric label of a machine phase name and whether
+// the phase is registered. Unregistered names (possible only from
+// off-registry test regions) get the literal name back so telemetry is
+// never silently dropped.
+func PhaseLabel(name string) (string, bool) {
+	if l, ok := phaseLabels[name]; ok {
+		return l, true
+	}
+	return name, false
+}
+
+// PhaseLabels lists the metric labels of all canonical phases, in
+// machine-registry declaration order. Useful for pre-registering vec
+// children so the exposition shows zero-valued phases from the first
+// scrape.
+func PhaseLabels() []string {
+	phases := machine.CanonicalPhases()
+	out := make([]string, len(phases))
+	for i, p := range phases {
+		out[i], _ = PhaseLabel(p)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestPhaseLabelsCoverRegistry is the runtime mirror of the mfbc-lint
+// phasenames check: every canonical machine phase must have a label.
+func TestPhaseLabelsCoverRegistry(t *testing.T) {
+	for _, p := range machine.CanonicalPhases() {
+		if _, ok := PhaseLabel(p); !ok {
+			t.Errorf("machine phase %q has no obs label", p)
+		}
+	}
+	if len(phaseLabels) != len(machine.CanonicalPhases()) {
+		t.Errorf("phaseLabels has %d entries, registry has %d", len(phaseLabels), len(machine.CanonicalPhases()))
+	}
+}
+
+func TestPhaseLabelUnknownPassthrough(t *testing.T) {
+	label, ok := PhaseLabel("off-registry")
+	if ok {
+		t.Error("unknown phase reported as registered")
+	}
+	if label != "off-registry" {
+		t.Errorf("unknown phase label = %q, want passthrough", label)
+	}
+}
+
+func TestPhaseLabelsOrder(t *testing.T) {
+	labels := PhaseLabels()
+	want := []string{"stage", "diff", "patch", "probe", "sweep", "reduce"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}

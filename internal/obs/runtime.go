@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics installs process runtime gauges (goroutines,
+// heap, GC) on r, evaluated at scrape time. It is called by the serving
+// binary, not by library constructors, because the values change on every
+// scrape and would break byte-identical exposition tests that compare
+// repeated scrapes of a quiesced registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	r.GaugeFunc("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("go_sched_latency_p99_seconds", "P99 goroutine scheduling latency since process start.", func() float64 {
+		return schedLatencyP99()
+	})
+}
+
+// schedLatencyP99 reads the runtime/metrics scheduler-latency histogram
+// and returns its (approximate, bucket-upper-bound) p99 in seconds, or 0
+// when unavailable.
+func schedLatencyP99() float64 {
+	samples := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := samples[0].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * 0.99)
+	var run uint64
+	for i, c := range h.Counts {
+		run += c
+		if run >= target {
+			// Buckets[i+1] is the upper edge of count bucket i.
+			if i+1 < len(h.Buckets) {
+				return h.Buckets[i+1]
+			}
+			return h.Buckets[len(h.Buckets)-1]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -4,13 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // NewMux returns the HTTP/JSON API over s, the front end served by
 // cmd/mfbc-serve:
 //
 //	GET    /healthz          liveness probe
-//	GET    /stats            cumulative server counters
+//	GET    /stats            cumulative server counters (compat view of /metrics)
+//	GET    /metrics          Prometheus text exposition of the metric registry
+//	GET    /debug/traces     recent request traces as JSONL (404 if tracing off)
 //	GET    /graphs           list registered graphs
 //	POST   /graphs/{name}    register a graph from a GraphSpec body
 //	GET    /graphs/{name}    describe one graph
@@ -21,81 +26,171 @@ import (
 // Every response body is JSON; errors are {"error": "..."} with a 4xx/5xx
 // status (404 for unknown graphs, 409 when a mutation raced a replacement,
 // 413 for oversized request bodies, 400 for malformed requests).
+//
+// Every API handler runs behind s.instrument, which counts the request,
+// observes its latency and response size, and — when the server has a
+// tracer — opens the root "http.<route>" span that the query/mutate paths
+// hang their child spans off. /metrics and /debug/traces themselves stay
+// uninstrumented so scraping does not perturb what it observes.
 func NewMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+
+	mux.HandleFunc("GET /stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Stats())
+	}))
+
+	mux.Handle("GET /metrics", s.registry.Handler())
+
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		s.tracer.Handler().ServeHTTP(w, r)
 	})
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
-	})
+	mux.HandleFunc("GET /graphs", s.instrument("graphs", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
+	}))
 
-	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
-	})
-
-	mux.HandleFunc("POST /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /graphs/{name}", s.instrument("register", func(w http.ResponseWriter, r *http.Request) {
 		var spec GraphSpec
 		if err := decodeJSON(w, r, &spec); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
 		info, err := s.GenerateGraph(r.PathValue("name"), spec)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, info)
-	})
+		s.writeJSON(w, http.StatusCreated, info)
+	}))
 
-	mux.HandleFunc("GET /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /graphs/{name}", s.instrument("graph", func(w http.ResponseWriter, r *http.Request) {
 		info, err := s.GraphInfoFor(r.PathValue("name"))
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, info)
-	})
+		s.writeJSON(w, http.StatusOK, info)
+	}))
 
-	mux.HandleFunc("PATCH /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("PATCH /graphs/{name}", s.instrument("mutate", func(w http.ResponseWriter, r *http.Request) {
 		var req MutateRequest
 		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		res, err := s.Mutate(r.PathValue("name"), req.Mutations)
+		res, err := s.MutateCtx(r.Context(), r.PathValue("name"), req.Mutations)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
-	})
+		s.writeJSON(w, http.StatusOK, res)
+	}))
 
-	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("evict", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Evict(r.PathValue("name")); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	}))
 
-	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /query", s.instrument("query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
 		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		res, err := s.Query(req)
+		res, err := s.QueryCtx(r.Context(), req)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
-	})
+		s.writeJSON(w, http.StatusOK, res)
+	}))
 
 	return mux
+}
+
+// respWriter captures the status code and body size flowing through a
+// handler so instrument can label the request counter and feed the size
+// histogram without buffering the response.
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (rw *respWriter) WriteHeader(status int) {
+	if rw.status == 0 {
+		rw.status = status
+	}
+	rw.ResponseWriter.WriteHeader(status)
+}
+
+func (rw *respWriter) Write(b []byte) (int, error) {
+	if rw.status == 0 {
+		rw.status = http.StatusOK
+	}
+	n, err := rw.ResponseWriter.Write(b)
+	rw.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps an API handler with the request counter, latency and
+// response-size histograms, the tracer's root span, and the slow-request
+// log. route must be a member of httpRoutes (pre-registered label values).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		var span *obs.Span
+		if s.tracer != nil {
+			ctx, span = s.tracer.Start(ctx, "http."+route)
+			span.SetAttr("method", r.Method).SetAttr("path", r.URL.Path)
+		}
+		rw := &respWriter{ResponseWriter: w}
+		start := time.Now()
+		h(rw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		if rw.status == 0 {
+			rw.status = http.StatusOK
+		}
+		s.m.httpReqs.With(route, statusText(rw.status)).Inc()
+		s.m.httpDur.With(route).Observe(elapsed.Seconds())
+		s.m.httpBytes.With(route).Observe(float64(rw.bytes))
+		if span != nil {
+			span.SetAttr("status", rw.status).End()
+		}
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			s.logger.Warn("slow request",
+				"route", route, "method", r.Method, "path", r.URL.Path,
+				"status", rw.status, "bytes", rw.bytes,
+				"elapsed_ms", float64(elapsed.Microseconds())/1e3)
+		}
+	}
+}
+
+// statusText buckets a status code into the fixed label vocabulary
+// ("2xx"/"4xx"/"5xx"/...) so the code label stays low-cardinality.
+func statusText(status int) string {
+	switch {
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status >= 300 && status < 400:
+		return "3xx"
+	case status >= 400 && status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
 }
 
 func statusFor(err error) int {
@@ -121,12 +216,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return dec.Decode(dst)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the JSON response body. Encode errors (a closed
+// connection mid-write, or an unencodable value — both invisible to the
+// client) are counted on mfbc_encode_errors_total and logged rather than
+// silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.m.encodeErrors.Inc()
+		s.logger.Error("response encode failed", "status", status, "err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }

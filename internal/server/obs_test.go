@@ -1,0 +1,281 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// TestMutateTraceMachineRegions is the tracing acceptance test: a PATCH
+// against a distributed engine must produce a trace whose machine-region
+// child spans pair the modeled cost with measured wall-clock for every
+// phase the MutateResult reports.
+func TestMutateTraceMachineRegions(t *testing.T) {
+	tr := obs.NewTracer(16)
+	s := New(Config{Workers: 1, DynProcs: 2, Tracer: tr})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	doJSON(t, ts, "POST", "/graphs/g",
+		GraphSpec{Kind: "uniform", N: 30, M: 120, Seed: 1}, http.StatusCreated, nil)
+
+	var res MutateResult
+	doJSON(t, ts, "PATCH", "/graphs/g",
+		MutateRequest{Mutations: []repro.Mutation{
+			{Op: repro.MutAddVertex},
+			{Op: repro.MutAddEdge, U: 0, V: 30, W: 1},
+		}},
+		http.StatusOK, &res)
+	if res.Procs != 2 {
+		t.Fatalf("procs = %d, want distributed run", res.Procs)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("distributed mutate reported no phases")
+	}
+
+	// The root span ends just after the response is written; poll.
+	var spans []obs.SpanRecord
+	waitFor(t, "mutate trace", func() bool {
+		for _, trc := range tr.Traces() {
+			for _, rec := range trc {
+				if rec.Name == "http.mutate" {
+					spans = trc
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	byName := map[string][]obs.SpanRecord{}
+	id2name := map[string]string{}
+	for _, rec := range spans {
+		byName[rec.Name] = append(byName[rec.Name], rec)
+		id2name[rec.Span] = rec.Name
+	}
+	for _, want := range []string{"http.mutate", "server.mutate", "dynamic.apply", "machine.region"} {
+		if len(byName[want]) == 0 {
+			t.Fatalf("trace has no %q span; got %v", want, names(spans))
+		}
+	}
+	// Parent chain: server.mutate under http.mutate, dynamic.apply under
+	// server.mutate, machine.region under dynamic.apply.
+	for child, parent := range map[string]string{
+		"server.mutate": "http.mutate", "dynamic.apply": "server.mutate",
+		"machine.region": "dynamic.apply",
+	} {
+		if got := id2name[byName[child][0].Parent]; got != parent {
+			t.Errorf("%s parent = %q, want %q", child, got, parent)
+		}
+	}
+
+	// Every phase in the MutateResult appears as a phase.<label> child of a
+	// machine.region span, carrying both the modeled cost and wall-clock.
+	regions := map[string]bool{}
+	for _, rec := range byName["machine.region"] {
+		regions[rec.Span] = true
+		for _, key := range []string{"model_sec", "wall_ms", "bytes", "msgs", "flops"} {
+			if _, ok := rec.Attrs[key]; !ok {
+				t.Errorf("machine.region span missing attr %q: %v", key, rec.Attrs)
+			}
+		}
+	}
+	for _, ph := range res.Phases {
+		label, ok := obs.PhaseLabel(ph.Name)
+		if !ok {
+			t.Errorf("phase %q missing from the obs phase-label table", ph.Name)
+		}
+		found := false
+		for _, rec := range byName["phase."+label] {
+			if !regions[rec.Parent] {
+				t.Errorf("phase.%s span parented outside machine.region", label)
+			}
+			if _, ok := rec.Attrs["model_sec"]; !ok {
+				t.Errorf("phase.%s span missing model_sec: %v", label, rec.Attrs)
+			}
+			if _, ok := rec.Attrs["wall_ms"]; !ok {
+				t.Errorf("phase.%s span missing wall_ms: %v", label, rec.Attrs)
+			}
+			found = true
+		}
+		if !found {
+			t.Errorf("reported phase %q has no phase.%s span; spans: %v", ph.Name, label, names(spans))
+		}
+	}
+}
+
+func names(spans []obs.SpanRecord) []string {
+	out := make([]string, len(spans))
+	for i, rec := range spans {
+		out[i] = rec.Name
+	}
+	return out
+}
+
+// TestQueryTraceSource pins the query span's answer-source attribute
+// across the cache-miss and cache-hit paths.
+func TestQueryTraceSource(t *testing.T) {
+	tr := obs.NewTracer(16)
+	s := New(Config{Workers: 1, Tracer: tr})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	doJSON(t, ts, "POST", "/graphs/g",
+		GraphSpec{Kind: "uniform", N: 20, M: 60, Seed: 1}, http.StatusCreated, nil)
+	for range 2 {
+		doJSON(t, ts, "POST", "/query", QueryRequest{Graph: "g"}, http.StatusOK, nil)
+	}
+
+	sources := map[string]bool{}
+	waitFor(t, "two query traces", func() bool {
+		sources = map[string]bool{}
+		for _, trc := range tr.Traces() {
+			for _, rec := range trc {
+				if rec.Name == "server.query" {
+					if src, ok := rec.Attrs["source"].(string); ok {
+						sources[src] = true
+					}
+				}
+			}
+		}
+		return sources["compute"] && sources["cache"]
+	})
+}
+
+// TestMetricsEndpointDeterministic exercises the registry through the real
+// HTTP surface under concurrent load, then checks that back-to-back
+// scrapes of a quiescent server are byte-identical and carry the counters
+// /stats reports. Run with -race this also proves scraping is safe against
+// concurrent writers.
+func TestMetricsEndpointDeterministic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	doJSON(t, ts, "POST", "/graphs/g",
+		GraphSpec{Kind: "uniform", N: 20, M: 60, Seed: 1}, http.StatusCreated, nil)
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		if _, err := copyAll(&b, resp); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	var wg sync.WaitGroup
+	for w := range 4 {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range 10 {
+				doJSON(t, ts, "POST", "/query",
+					QueryRequest{Graph: "g", K: (w*10+i)%5 + 1}, http.StatusOK, nil)
+				_ = scrape() // scrape mid-load: must not race with writers
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	first := scrape()
+	for i := range 3 {
+		if got := scrape(); got != first {
+			t.Fatalf("scrape %d differs from first:\n%s\n---\n%s", i+2, got, first)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE mfbc_queries_total counter",
+		"# TYPE mfbc_query_duration_seconds histogram",
+		"mfbc_query_duration_seconds_bucket{le=\"+Inf\",source=\"compute\"}",
+		"mfbc_http_requests_total{code=\"2xx\",route=\"query\"} 40",
+		"mfbc_graphs 1",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if st := s.Stats(); st.Queries != 40 {
+		t.Errorf("stats queries = %d, want 40", st.Queries)
+	}
+}
+
+func copyAll(b *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		b.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// TestWriteJSONEncodeErrorCounted: an unencodable response value must land
+// on mfbc_encode_errors_total (and the /stats compat view) instead of
+// vanishing.
+func TestWriteJSONEncodeErrorCounted(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := New(Config{Workers: 1, Logger: quiet})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if got := s.Stats().EncodeErrors; got != 1 {
+		t.Fatalf("encode errors = %d, want 1", got)
+	}
+	rec = httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]string{"ok": "yes"})
+	if got := s.Stats().EncodeErrors; got != 1 {
+		t.Fatalf("encode errors after clean write = %d, want 1", got)
+	}
+}
+
+// TestDebugTracesEndpoint: 404 without a tracer, JSONL with one.
+func TestDebugTracesEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewMux(s))
+	resp, err := ts.Client().Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traces without tracer: status %d, want 404", resp.StatusCode)
+	}
+
+	tr := obs.NewTracer(4)
+	s2 := New(Config{Workers: 1, Tracer: tr})
+	ts2 := httptest.NewServer(NewMux(s2))
+	defer ts2.Close()
+	doJSON(t, ts2, "GET", "/healthz", nil, http.StatusOK, nil)
+	waitFor(t, "healthz trace", func() bool { return len(tr.Traces()) > 0 })
+	resp, err = ts2.Client().Get(ts2.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := copyAll(&b, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"name\":\"http.healthz\"") {
+		t.Fatalf("trace JSONL missing http.healthz span: %q", b.String())
+	}
+}

@@ -20,13 +20,16 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // ErrGraphNotFound is returned by Query and Evict when the named graph is
@@ -78,6 +81,22 @@ type Config struct {
 	// keep bounded logs that still replay from the recorded base.
 	LogCompactAt int
 	LogTruncate  bool
+	// Metrics is the observability registry the server's counters, gauges,
+	// and histograms register on (exposed at GET /metrics). nil creates a
+	// private registry. Each Server needs its own registry — metric names
+	// are registered once and duplicate registration panics.
+	Metrics *obs.Registry
+	// Tracer enables request tracing: every instrumented HTTP request
+	// becomes a root span, with child spans down through the dynamic engine
+	// into the machine regions (modeled cost + measured wall-clock per
+	// phase). nil disables tracing at near-zero cost.
+	Tracer *obs.Tracer
+	// Logger receives structured logs (encode failures, slow requests).
+	// nil uses slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any instrumented HTTP request that
+	// takes at least this long as a warning with route and latency.
+	SlowQuery time.Duration
 }
 
 const defaultCacheSize = 256
@@ -104,13 +123,18 @@ type Server struct {
 	computeExact  func(*repro.Graph, repro.Options) (*repro.Result, error)
 	computeApprox func(*repro.Graph, int, int64, repro.Options) (*repro.Result, error)
 
+	registry  *obs.Registry // metric registry backing m (exposed at /metrics)
+	m         serverMetrics
+	tracer    *obs.Tracer // nil = tracing disabled
+	logger    *slog.Logger
+	slowQuery time.Duration
+
 	mu       sync.Mutex
 	graphs   map[string]*graphEntry   // guarded by mu
 	cache    map[string]*list.Element // guarded by mu; cache key → element of lru
 	lru      *list.List               // guarded by mu; front = most recently used *cacheEntry
 	flight   map[string]*flightCall   // guarded by mu; cache key → in-flight computation
 	mutLocks map[string]*sync.Mutex   // guarded by mu; graph name → mutation serializer (never deleted; see Evict)
-	stats    Stats                    // guarded by mu
 }
 
 type graphEntry struct {
@@ -159,7 +183,10 @@ type Stats struct {
 	// harness to separate server-side failures from client-side ones.
 	MutateConflicts int64 `json:"mutate_conflicts"`
 	ComputeErrors   int64 `json:"compute_errors"`
-	WarmSeeds       int64 `json:"warm_seeds"` // cache entries seeded from dynamic-engine scores (all variants)
+	// EncodeErrors counts HTTP responses whose JSON encoding failed after
+	// the status line was committed (client gone, marshal failure).
+	EncodeErrors int64 `json:"encode_errors"`
+	WarmSeeds    int64 `json:"warm_seeds"` // cache entries seeded from dynamic-engine scores (all variants)
 	// Per-variant warm-seed counters: the default exact key, the
 	// normalized transform, the distributed-procs keys (DynProcs > 1), and
 	// the number of precomputed top-k rankings attached to seeded entries.
@@ -185,7 +212,15 @@ func New(cfg Config) *Server {
 	if size < 0 {
 		size = 0
 	}
-	return &Server{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
 		workers:         cfg.Workers,
 		cacheSize:       size,
 		dirty:           cfg.DirtyThreshold,
@@ -197,11 +232,146 @@ func New(cfg Config) *Server {
 		logTruncate:     cfg.LogTruncate,
 		computeExact:    repro.Compute,
 		computeApprox:   repro.ApproximateBC,
+		registry:        reg,
+		m:               newServerMetrics(reg),
+		tracer:          cfg.Tracer,
+		logger:          logger,
+		slowQuery:       cfg.SlowQuery,
 		graphs:          make(map[string]*graphEntry),
 		cache:           make(map[string]*list.Element),
 		lru:             list.New(),
 		flight:          make(map[string]*flightCall),
 		mutLocks:        make(map[string]*sync.Mutex),
+	}
+	// Registry-size gauges are computed at scrape time under s.mu; the
+	// exposition renderer never holds s.mu, so there is no lock cycle.
+	reg.GaugeFunc("mfbc_graphs", "Registered graphs.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.graphs))
+	})
+	reg.GaugeFunc("mfbc_cache_entries", "Resident cached results.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.lru.Len())
+	})
+	reg.GaugeFunc("mfbc_in_flight", "Computations running now.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.flight))
+	})
+	return s
+}
+
+// Registry returns the server's metric registry (the /metrics exposition).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Tracer returns the server's tracer, nil when tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// serverMetrics is the observability surface of the server: every former
+// Stats counter as a registry metric, plus the latency/size histograms and
+// the modeled-vs-measured phase telemetry. Counters are atomic — they need
+// no lock, though some are incremented while s.mu happens to be held.
+type serverMetrics struct {
+	queries         *obs.Counter
+	cacheHits       *obs.Counter
+	coalesced       *obs.Counter
+	computes        *obs.Counter
+	evictions       *obs.Counter
+	mutations       *obs.Counter
+	mutateConflicts *obs.Counter
+	computeErrors   *obs.Counter
+	encodeErrors    *obs.Counter
+	warmSeeds       *obs.CounterVec // variant: exact|normalized|distributed|topk
+
+	queryDur  *obs.HistogramVec // source: cache|coalesced|compute
+	mutateDur *obs.HistogramVec // strategy: incremental|full|sampled
+
+	httpReqs  *obs.CounterVec   // route, code
+	httpDur   *obs.HistogramVec // route
+	httpBytes *obs.HistogramVec // route; response body bytes
+
+	// Modeled-vs-measured cost telemetry, accumulated per applied mutation
+	// batch: the α-β-γ model's seconds next to host wall-clock, per machine
+	// phase and per whole apply — the roofline comparison ROADMAP item 3
+	// asks for, as counters.
+	applyModelSec *obs.Counter
+	applyWallSec  *obs.Counter
+	phaseModelSec *obs.CounterVec // phase
+	phaseWallSec  *obs.CounterVec // phase
+	phaseBytes    *obs.CounterVec // phase
+	phaseMsgs     *obs.CounterVec // phase
+	phaseFlops    *obs.CounterVec // phase
+}
+
+// httpRoutes is the fixed route-label vocabulary of the HTTP middleware,
+// pre-registered so the first scrape already shows every route at zero.
+var httpRoutes = []string{"healthz", "stats", "graphs", "graph", "register", "mutate", "evict", "query"}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		queries:         reg.Counter("mfbc_queries_total", "Total Query calls against registered graphs."),
+		cacheHits:       reg.Counter("mfbc_query_cache_hits_total", "Queries served from the result cache."),
+		coalesced:       reg.Counter("mfbc_query_coalesced_total", "Queries that piggybacked on an in-flight compute."),
+		computes:        reg.Counter("mfbc_computes_total", "Underlying engine runs started."),
+		evictions:       reg.Counter("mfbc_cache_evictions_total", "Cache entries dropped (LRU or purge)."),
+		mutations:       reg.Counter("mfbc_mutations_total", "Mutation batches applied."),
+		mutateConflicts: reg.Counter("mfbc_mutate_conflicts_total", "Mutations lost to a concurrent graph replacement."),
+		computeErrors:   reg.Counter("mfbc_compute_errors_total", "Engine runs that returned an error."),
+		encodeErrors:    reg.Counter("mfbc_encode_errors_total", "HTTP responses whose JSON encoding failed."),
+		warmSeeds:       reg.CounterVec("mfbc_warm_seeds_total", "Cache entries seeded from dynamic-engine scores.", "variant"),
+		queryDur:        reg.HistogramVec("mfbc_query_duration_seconds", "Query latency by answer source.", nil, "source"),
+		mutateDur:       reg.HistogramVec("mfbc_mutate_duration_seconds", "Mutation batch latency by engine strategy.", nil, "strategy"),
+		httpReqs:        reg.CounterVec("mfbc_http_requests_total", "HTTP requests by route and status code.", "route", "code"),
+		httpDur:         reg.HistogramVec("mfbc_http_request_duration_seconds", "HTTP request latency by route.", nil, "route"),
+		httpBytes:       reg.HistogramVec("mfbc_http_response_bytes", "HTTP response body size by route.", obs.SizeBuckets(), "route"),
+		applyModelSec:   reg.Counter("mfbc_apply_model_seconds_total", "Modeled α-β-γ seconds of applied mutation batches."),
+		applyWallSec:    reg.Counter("mfbc_apply_wall_seconds_total", "Measured wall-clock seconds of applied mutation batches."),
+		phaseModelSec:   reg.CounterVec("mfbc_phase_model_seconds_total", "Modeled seconds per machine phase.", "phase"),
+		phaseWallSec:    reg.CounterVec("mfbc_phase_wall_seconds_total", "Measured wall-clock seconds per machine phase.", "phase"),
+		phaseBytes:      reg.CounterVec("mfbc_phase_bytes_total", "Modeled critical-path bytes per machine phase.", "phase"),
+		phaseMsgs:       reg.CounterVec("mfbc_phase_msgs_total", "Modeled critical-path messages per machine phase.", "phase"),
+		phaseFlops:      reg.CounterVec("mfbc_phase_flops_total", "Modeled critical-path flops per machine phase.", "phase"),
+	}
+	// Pre-register the fixed label vocabularies so scrapes are complete
+	// (and byte-stable) from the start, not only after first use.
+	for _, v := range []string{"exact", "normalized", "distributed", "topk"} {
+		m.warmSeeds.With(v)
+	}
+	for _, src := range []string{"cache", "coalesced", "compute"} {
+		m.queryDur.With(src)
+	}
+	for _, st := range []string{"incremental", "full", "sampled"} {
+		m.mutateDur.With(st)
+	}
+	for _, r := range httpRoutes {
+		m.httpReqs.With(r, "2xx")
+		m.httpDur.With(r)
+		m.httpBytes.With(r)
+	}
+	for _, ph := range obs.PhaseLabels() {
+		m.phaseModelSec.With(ph)
+		m.phaseWallSec.With(ph)
+		m.phaseBytes.With(ph)
+		m.phaseMsgs.With(ph)
+		m.phaseFlops.With(ph)
+	}
+	return m
+}
+
+// recordApplyTelemetry folds one apply report into the modeled-vs-measured
+// counters.
+func (s *Server) recordApplyTelemetry(rep repro.ApplyReport) {
+	s.m.applyModelSec.Add(rep.Comm.ModelSec)
+	s.m.applyWallSec.Add(rep.WallMS / 1e3)
+	for _, ph := range rep.Phases {
+		label, _ := obs.PhaseLabel(ph.Name)
+		s.m.phaseModelSec.With(label).Add(ph.ModelSec)
+		s.m.phaseWallSec.With(label).Add(ph.WallMS / 1e3)
+		s.m.phaseBytes.With(label).Add(float64(ph.Bytes))
+		s.m.phaseMsgs.With(label).Add(float64(ph.Msgs))
+		s.m.phaseFlops.With(label).Add(float64(ph.Flops))
 	}
 }
 
@@ -296,7 +466,7 @@ func (s *Server) putCacheLocked(ce *cacheEntry) {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
 		delete(s.cache, oldest.Value.(*cacheEntry).key)
-		s.stats.Evictions++
+		s.m.evictions.Inc()
 	}
 }
 
@@ -308,7 +478,7 @@ func (s *Server) purgeLocked(name string) {
 		if ce := el.Value.(*cacheEntry); ce.graph == name {
 			s.lru.Remove(el)
 			delete(s.cache, ce.key)
-			s.stats.Evictions++
+			s.m.evictions.Inc()
 		}
 		el = next
 	}
@@ -370,9 +540,20 @@ func (s *Server) mutLockFor(name string) *sync.Mutex {
 // mutation is a warm hit instead of a recompute. Queries concurrent with
 // Mutate see either the old or the new version, never a torn state.
 func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, error) {
+	return s.MutateCtx(context.Background(), name, muts)
+}
+
+// MutateCtx is Mutate with trace propagation: when ctx carries an obs span
+// (the HTTP middleware's root span), the apply reports itself and its
+// machine regions as child spans pairing modeled cost with wall-clock.
+func (s *Server) MutateCtx(ctx context.Context, name string, muts []repro.Mutation) (*MutateResult, error) {
 	if len(muts) == 0 {
 		return nil, errors.New("server: empty mutation batch")
 	}
+	ctx, span := obs.StartSpan(ctx, "server.mutate")
+	defer span.End()
+	span.SetAttr("graph", name).SetAttr("mutations", len(muts))
+	start := time.Now()
 	lk := s.mutLockFor(name)
 	lk.Lock()
 	defer lk.Unlock()
@@ -407,7 +588,7 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 		}
 		s.mu.Unlock()
 	}
-	rep, err := dyn.Apply(muts)
+	rep, err := dyn.ApplyCtx(ctx, muts)
 	if err != nil {
 		return nil, err
 	}
@@ -426,17 +607,22 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 		// Evicted or replaced while the batch computed; the engine's state
 		// is orphaned with it and the caller must retry against whatever is
 		// registered now.
-		s.stats.MutateConflicts++
+		s.m.mutateConflicts.Inc()
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrGraphConflict, name)
 	}
 	s.purgeLocked(name) // delta-aware: only this graph's entries drop
 	s.graphs[name] = ne
-	s.stats.Mutations++
+	s.m.mutations.Inc()
 	if seed != nil {
 		s.seedWarmLocked(name, snap, rep, seed)
 	}
 	s.mu.Unlock()
+
+	s.m.mutateDur.With(rep.Strategy).Observe(time.Since(start).Seconds())
+	s.recordApplyTelemetry(rep)
+	span.SetAttr("strategy", rep.Strategy).SetAttr("affected", rep.Affected).
+		SetAttr("fused", rep.Fused).SetAttr("version", rep.Version)
 
 	return &MutateResult{
 		Graph: name, OldVersion: oldVersion, Version: rep.Version, Seq: rep.Seq,
@@ -489,7 +675,7 @@ func prepareWarmSeed(bc []float64) *warmSeed {
 // Callers hold s.mu.
 func (s *Server) seedWarmLocked(name string, snap repro.DynamicSnapshot, rep repro.ApplyReport, ws *warmSeed) {
 	wall := time.Duration(rep.WallMS * float64(time.Millisecond))
-	put := func(req QueryRequest, res *repro.Result, variant *int64) {
+	put := func(req QueryRequest, res *repro.Result, variant string) {
 		req.Graph = name
 		req.normalize()
 		key := cacheKey(name, snap.Version, req)
@@ -497,20 +683,19 @@ func (s *Server) seedWarmLocked(name string, snap repro.DynamicSnapshot, rep rep
 			return
 		}
 		s.putCacheLocked(&cacheEntry{key: key, graph: name, res: res, wall: wall, topk: ws.topk})
-		s.stats.WarmSeeds++
-		s.stats.WarmSeedsTopK++
-		*variant++
+		s.m.warmSeeds.With(variant).Inc()
+		s.m.warmSeeds.With("topk").Inc()
 	}
 	if s.dynProcs > 1 {
 		put(QueryRequest{Procs: s.dynProcs, Normalize: true},
 			&repro.Result{BC: ws.norm, Engine: repro.EngineMFBC, Procs: s.dynProcs, Plan: snap.Plan, Comm: rep.Comm},
-			&s.stats.WarmSeedsDistributed)
+			"distributed")
 		put(QueryRequest{Procs: s.dynProcs},
 			&repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: s.dynProcs, Plan: snap.Plan, Comm: rep.Comm},
-			&s.stats.WarmSeedsDistributed)
+			"distributed")
 	}
-	put(QueryRequest{Normalize: true}, &repro.Result{BC: ws.norm, Engine: repro.EngineMFBC, Procs: 1}, &s.stats.WarmSeedsNormalized)
-	put(QueryRequest{}, &repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: 1}, &s.stats.WarmSeedsExact)
+	put(QueryRequest{Normalize: true}, &repro.Result{BC: ws.norm, Engine: repro.EngineMFBC, Procs: 1}, "normalized")
+	put(QueryRequest{}, &repro.Result{BC: snap.BC, Engine: repro.EngineMFBC, Procs: 1}, "exact")
 }
 
 // GraphInfoFor returns the registered graph's description.
@@ -536,14 +721,31 @@ func (s *Server) Graphs() []GraphInfo {
 	return out
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters. It is a compatibility
+// view: the counters live in the metric registry (GET /metrics) and are
+// read back here, so /stats and /metrics can never drift apart.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.stats
-	st.Graphs = len(s.graphs)
-	st.CacheEntries = s.lru.Len()
-	st.InFlight = len(s.flight)
+	st := Stats{
+		Graphs:               len(s.graphs),
+		CacheEntries:         s.lru.Len(),
+		InFlight:             len(s.flight),
+		Queries:              int64(s.m.queries.Value()),
+		CacheHits:            int64(s.m.cacheHits.Value()),
+		Coalesced:            int64(s.m.coalesced.Value()),
+		Computes:             int64(s.m.computes.Value()),
+		Evictions:            int64(s.m.evictions.Value()),
+		Mutations:            int64(s.m.mutations.Value()),
+		MutateConflicts:      int64(s.m.mutateConflicts.Value()),
+		ComputeErrors:        int64(s.m.computeErrors.Value()),
+		EncodeErrors:         int64(s.m.encodeErrors.Value()),
+		WarmSeedsExact:       int64(s.m.warmSeeds.With("exact").Value()),
+		WarmSeedsNormalized:  int64(s.m.warmSeeds.With("normalized").Value()),
+		WarmSeedsDistributed: int64(s.m.warmSeeds.With("distributed").Value()),
+		WarmSeedsTopK:        int64(s.m.warmSeeds.With("topk").Value()),
+	}
+	st.WarmSeeds = st.WarmSeedsExact + st.WarmSeedsNormalized + st.WarmSeedsDistributed
 	for _, ge := range s.graphs {
 		if ge.dyn == nil {
 			continue
@@ -634,10 +836,21 @@ func cacheKey(graph string, version uint64, r QueryRequest) string {
 // Query answers one centrality query, consulting the cache first and
 // coalescing with identical in-flight computations.
 func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
+	return s.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query with trace propagation: when ctx carries an obs span,
+// the query reports itself (graph, answer source) and any underlying
+// compute as child spans.
+func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	ctx, span := obs.StartSpan(ctx, "server.query")
+	defer span.End()
+	start := time.Now()
 	req.normalize()
 	if req.K < 0 {
 		return nil, fmt.Errorf("server: negative k %d", req.K)
 	}
+	span.SetAttr("graph", req.Graph)
 
 	s.mu.Lock()
 	ge, ok := s.graphs[req.Graph]
@@ -652,37 +865,45 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 		req.Samples, req.Seed = 0, 0
 	}
 	key := cacheKey(req.Graph, ge.version, req)
-	s.stats.Queries++
+	s.m.queries.Inc()
 
 	if el, hit := s.cache[key]; hit {
 		s.lru.MoveToFront(el)
 		ce := el.Value.(*cacheEntry)
-		s.stats.CacheHits++
+		s.m.cacheHits.Inc()
 		s.mu.Unlock()
+		s.m.queryDur.With("cache").Observe(time.Since(start).Seconds())
+		span.SetAttr("source", "cache")
 		return render(req, ge.version, ce, true, false), nil
 	}
 	if fc, inflight := s.flight[key]; inflight {
-		s.stats.Coalesced++
+		s.m.coalesced.Inc()
 		s.mu.Unlock()
 		<-fc.done
 		if fc.err != nil {
 			return nil, fc.err
 		}
+		s.m.queryDur.With("coalesced").Observe(time.Since(start).Seconds())
+		span.SetAttr("source", "coalesced")
 		return render(req, ge.version, fc.entry, false, true), nil
 	}
 	fc := &flightCall{done: make(chan struct{})}
 	s.flight[key] = fc
-	s.stats.Computes++
+	s.m.computes.Inc()
 	s.mu.Unlock()
 
-	start := time.Now()
+	_, cspan := obs.StartSpan(ctx, "server.compute")
+	cspan.SetAttr("engine", string(req.Engine)).SetAttr("procs", req.Procs).
+		SetAttr("samples", req.Samples)
+	cstart := time.Now()
 	res, err := s.compute(ge.g, req)
-	wall := time.Since(start)
+	wall := time.Since(cstart)
+	cspan.End()
 
 	s.mu.Lock()
 	delete(s.flight, key)
 	if err != nil {
-		s.stats.ComputeErrors++
+		s.m.computeErrors.Inc()
 		s.mu.Unlock()
 		fc.err = err
 		close(fc.done)
@@ -696,6 +917,8 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 	if s.graphs[req.Graph] != ge {
 		s.mu.Unlock()
 		close(fc.done)
+		s.m.queryDur.With("compute").Observe(time.Since(start).Seconds())
+		span.SetAttr("source", "compute")
 		return render(req, ge.version, ce, false, false), nil
 	}
 	if s.cacheSize > 0 {
@@ -703,6 +926,8 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 	}
 	s.mu.Unlock()
 	close(fc.done)
+	s.m.queryDur.With("compute").Observe(time.Since(start).Seconds())
+	span.SetAttr("source", "compute")
 	return render(req, ge.version, ce, false, false), nil
 }
 
