@@ -27,6 +27,7 @@ func main() {
 	batch := flag.Int("batch", 32, "sources per timed batch")
 	seed := flag.Int64("seed", 42, "generator seed")
 	quick := flag.Bool("quick", false, "shrink workloads (smoke test)")
+	transport := flag.String("transport", "sim", "machine backend for distributed runs: 'sim' (in-process simulated machine) or 'tcp' (loopback rank-per-process mesh per run; modeled columns are identical, wall_sec measures real transport overhead)")
 	samples := flag.String("samples", "", "comma-separated sample budgets for the streaming-dist sampled-mode axis (empty = skip the sweep)")
 	jsonPath := flag.String("json", "", "write all bench points as a JSON array to this path (BENCH_*.json)")
 	flag.Parse()
@@ -59,14 +60,15 @@ func main() {
 		return out
 	}
 	cfg := bench.Config{
-		Out:     os.Stdout,
-		Procs:   parseInts("proc count", *procs),
-		Workers: *workers,
-		Scale:   *scale,
-		Batch:   *batch,
-		Seed:    *seed,
-		Quick:   *quick,
-		Samples: parseInts("sample budget", *samples),
+		Out:       os.Stdout,
+		Procs:     parseInts("proc count", *procs),
+		Workers:   *workers,
+		Scale:     *scale,
+		Batch:     *batch,
+		Seed:      *seed,
+		Quick:     *quick,
+		Samples:   parseInts("sample budget", *samples),
+		Transport: *transport,
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -32,9 +32,13 @@
 //
 // Observability: GET /metrics serves the Prometheus-text metric registry
 // and GET /debug/traces the recent request traces as JSONL (bounded ring,
-// -trace-buf entries; -trace-buf 0 disables tracing). -trace-out streams
-// every finished trace to a JSONL file as it completes. -slow-query logs a
-// structured warning for any request slower than the threshold. -debug-addr
+// -trace-buf entries; -trace-buf 0 disables tracing). -trace-sample keeps
+// a probabilistic subset of traces under production rates — error and slow
+// requests always survive the sampler, and the duration histograms carry
+// exemplar trace/span IDs pointing into the retained traces. -trace-out
+// streams every kept trace to a JSONL file as it completes. -slow-query
+// logs a structured warning for any request slower than the threshold
+// (and force-keeps its trace). -debug-addr
 // opens a second, operator-only listener carrying net/http/pprof plus
 // /metrics and /debug/traces — keep it off the public address.
 package main
@@ -51,10 +55,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro"
+	"repro/internal/machine/tcpnet"
 	"repro/internal/obs"
+	"repro/internal/rankrun"
 	"repro/internal/server"
 )
 
@@ -65,6 +73,9 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated name=path edge-list files to register at startup")
 	dirty := flag.Float64("dirty", 0, "mutation dirtiness threshold: affected-source fraction above which a PATCH recomputes fully (0 = default 0.25, negative = always incremental)")
 	dynProcs := flag.Int("dyn-procs", 0, "run mutation re-computation on the simulated distributed machine with this many processors (≤1 = shared-memory path); PATCH responses then report modeled communication, per-phase stats, and the plan chosen")
+	transport := flag.String("transport", "sim", "machine backend for distributed mutation re-computation: 'sim' (in-process simulated machine) or 'tcp' (rank-per-process mesh; this server is rank 0 and every other -peers entry must run cmd/mfbc-rank)")
+	peersFlag := flag.String("peers", "", "with -transport tcp: comma-separated host:port of every rank in rank order; entry 0 is this server's machine endpoint (distinct from -addr)")
+	rendezvous := flag.Duration("rendezvous", 0, "with -transport tcp: how long to keep retrying the mesh connect while ranks start (0 = 15s default)")
 	dynCacheSets := flag.Int("dyn-cache-sets", 0, "bound each simulated rank's stationary-operand cache to this many working sets per matrix (LRU across plans; 0 = unbounded); evictions appear in /stats")
 	dynSamples := flag.Int("dyn-samples", 0, "run each graph's dynamic engine in sampled mode with this source budget: PATCHes estimate instead of computing exactly and report a Hoeffding err_bound (0 = exact)")
 	dynRefresh := flag.Int("dyn-refresh", 0, "exact-refresh cadence of sampled mode: every Nth PATCH recomputes exactly (0 = library default 8)")
@@ -76,6 +87,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "max time to write a response (0 = unlimited; exact queries on large graphs can be slow)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
 	traceBuf := flag.Int("trace-buf", 256, "request traces retained for GET /debug/traces (0 disables tracing)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling probability for request traces in [0,1]: each trace is kept with this probability, except error (status ≥ 400) and slow (-slow-query) requests, which are always kept (1 = keep everything)")
 	traceOut := flag.String("trace-out", "", "append every finished request trace to this JSONL file")
 	slowQuery := flag.Duration("slow-query", 0, "log a structured warning for requests slower than this (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "operator-only listener with net/http/pprof, /metrics, and /debug/traces (empty = off)")
@@ -84,17 +96,20 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(logger)
 
-	s, err := buildServer(serveConfig{
+	s, cleanup, err := buildServer(serveConfig{
 		workers: *workers, cache: *cache, dirty: *dirty,
 		dynProcs: *dynProcs, dynCacheSets: *dynCacheSets,
 		dynSamples: *dynSamples, dynRefresh: *dynRefresh,
 		logCompact: *logCompact, logTruncate: *logTruncate,
-		traceBuf: *traceBuf, slowQuery: *slowQuery, logger: logger,
+		transport: *transport, peers: *peersFlag, rendezvous: *rendezvous,
+		traceBuf: *traceBuf, traceSample: *traceSample,
+		slowQuery: *slowQuery, logger: logger,
 	}, *preload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfbc-serve:", err)
 		os.Exit(1)
 	}
+	defer cleanup()
 	if *traceOut != "" {
 		tr := s.Tracer()
 		if tr == nil {
@@ -222,9 +237,16 @@ type serveConfig struct {
 	dynSamples, dynRefresh int
 	logCompact             int
 	logTruncate            bool
+	transport, peers       string
+	rendezvous             time.Duration
 	traceBuf               int
-	slowQuery              time.Duration
-	logger                 *slog.Logger
+	// traceSample is the head-sampling keep probability handed to the
+	// tracer (clamped to [0,1]). Note the zero value means "keep only
+	// error/slow traces" — tests that assert on retained traces must set
+	// it to 1 explicitly, matching the flag default.
+	traceSample float64
+	slowQuery   time.Duration
+	logger      *slog.Logger
 }
 
 // buildServer wires flags into a ready service; split from main so the
@@ -232,20 +254,63 @@ type serveConfig struct {
 // binary is the one place the Go-runtime gauges are registered: library
 // constructors keep the registry deterministic for byte-identical scrape
 // tests.
-func buildServer(cfg serveConfig, preload string) (*server.Server, error) {
+//
+// The returned cleanup shuts down whatever backend the transport flags
+// brought up (the worker fleet on -transport tcp); call it after the
+// HTTP listener drains.
+func buildServer(cfg serveConfig, preload string) (*server.Server, func(), error) {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 	var tracer *obs.Tracer
 	if cfg.traceBuf > 0 {
 		tracer = obs.NewTracer(cfg.traceBuf)
+		tracer.SetSampleRate(cfg.traceSample)
 	}
-	s := server.New(server.Config{
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	scfg := server.Config{
 		Workers: cfg.workers, CacheSize: cfg.cache, DirtyThreshold: cfg.dirty,
 		DynProcs: cfg.dynProcs, DynCacheSets: cfg.dynCacheSets,
 		DynSampleBudget: cfg.dynSamples, DynRefreshEvery: cfg.dynRefresh,
 		LogCompactAt: cfg.logCompact, LogTruncate: cfg.logTruncate,
 		Metrics: reg, Tracer: tracer, Logger: cfg.logger, SlowQuery: cfg.slowQuery,
-	})
+	}
+	cleanup := func() {}
+	switch cfg.transport {
+	case "", "sim":
+		// In-process simulated machine: the library default.
+	case "tcp":
+		peers := splitPeers(cfg.peers)
+		if len(peers) < 2 {
+			return nil, nil, fmt.Errorf("-transport tcp needs -peers with at least two host:port entries, got %q", cfg.peers)
+		}
+		if cfg.dynProcs != 0 && cfg.dynProcs != len(peers) {
+			return nil, nil, fmt.Errorf("-dyn-procs %d conflicts with %d-rank -peers list (omit -dyn-procs or make them equal)", cfg.dynProcs, len(peers))
+		}
+		scfg.DynProcs = len(peers)
+		tr, err := tcpnet.Coordinate(peers, tcpnet.Options{Rendezvous: cfg.rendezvous})
+		if err != nil {
+			return nil, nil, fmt.Errorf("-transport tcp: %w", err)
+		}
+		driver, err := rankrun.NewDriver(tr)
+		if err != nil {
+			tr.Close()
+			return nil, nil, err
+		}
+		scfg.NewDynamic = tcpDynFactory(driver)
+		cleanup = func() {
+			if err := driver.Shutdown(); err != nil {
+				logger.Warn("worker shutdown", "err", err)
+			}
+			tr.Close()
+		}
+		logger.Info("tcp machine mesh up", "ranks", len(peers), "endpoint", peers[0])
+	default:
+		return nil, nil, fmt.Errorf("unknown -transport %q (want sim or tcp)", cfg.transport)
+	}
+	s := server.New(scfg)
 	for _, pair := range strings.Split(preload, ",") {
 		pair = strings.TrimSpace(pair)
 		if pair == "" {
@@ -253,11 +318,51 @@ func buildServer(cfg serveConfig, preload string) (*server.Server, error) {
 		}
 		name, path, ok := strings.Cut(pair, "=")
 		if !ok || name == "" || path == "" {
-			return nil, fmt.Errorf("bad -preload entry %q (want name=path)", pair)
+			cleanup()
+			return nil, nil, fmt.Errorf("bad -preload entry %q (want name=path)", pair)
 		}
 		if _, err := s.LoadGraph(name, path); err != nil {
-			return nil, fmt.Errorf("preload %q: %w", name, err)
+			cleanup()
+			return nil, nil, fmt.Errorf("preload %q: %w", name, err)
 		}
 	}
-	return s, nil
+	return s, cleanup, nil
+}
+
+// tcpDynFactory builds the server's streaming engines on the replicated
+// worker fleet. It keeps the per-name engine registry so a graph replaced
+// or evicted on the server also drops its replicas on the workers before
+// a same-named engine is rebuilt.
+func tcpDynFactory(driver *rankrun.Driver) func(string, *repro.Graph, repro.DynamicOptions) (server.DynEngine, error) {
+	var mu sync.Mutex
+	engines := make(map[string]*rankrun.Engine)
+	return func(name string, g *repro.Graph, opt repro.DynamicOptions) (server.DynEngine, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if old := engines[name]; old != nil {
+			if err := old.Close(); err != nil {
+				return nil, fmt.Errorf("dropping stale replicas of %q: %w", name, err)
+			}
+			delete(engines, name)
+		}
+		opt.Procs = driver.Size()
+		eng, err := driver.NewEngine(name, g, opt)
+		if err != nil {
+			return nil, err
+		}
+		engines[name] = eng
+		return eng, nil
+	}
+}
+
+// splitPeers parses the comma-separated peer list, trimming blanks.
+func splitPeers(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }

@@ -31,7 +31,7 @@ func TestEndToEndSession(t *testing.T) {
 	}
 	// -dyn-procs 2: mutation batches run on the simulated 2-processor
 	// machine, so the PATCH response must carry modeled communication.
-	s, err := buildServer(serveConfig{workers: 1, cache: 64, dynProcs: 2}, "social="+path)
+	s, _, err := buildServer(serveConfig{workers: 1, cache: 64, dynProcs: 2}, "social="+path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,13 +171,13 @@ func TestEndToEndSession(t *testing.T) {
 }
 
 func TestBuildServerPreloadErrors(t *testing.T) {
-	if _, err := buildServer(serveConfig{workers: 1}, "badentry"); err == nil {
+	if _, _, err := buildServer(serveConfig{workers: 1}, "badentry"); err == nil {
 		t.Fatal("malformed -preload entry must fail")
 	}
-	if _, err := buildServer(serveConfig{workers: 1}, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if _, _, err := buildServer(serveConfig{workers: 1}, "g="+filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing preload file must fail")
 	}
-	s, err := buildServer(serveConfig{workers: 1}, " ")
+	s, _, err := buildServer(serveConfig{workers: 1}, " ")
 	if err != nil || len(s.Graphs()) != 0 {
 		t.Fatalf("blank preload must yield an empty registry: %v", err)
 	}
@@ -188,7 +188,7 @@ func TestBuildServerPreloadErrors(t *testing.T) {
 // queries are in flight: every accepted request must complete with 200,
 // serve must return a clean drain, and the listener must stop accepting.
 func TestShutdownUnderLoad(t *testing.T) {
-	s, err := buildServer(serveConfig{workers: 1, cache: 64}, "")
+	s, _, err := buildServer(serveConfig{workers: 1, cache: 64}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestServeCleanCloseWithoutSignal(t *testing.T) {
 // pprof alongside them.
 func TestObservabilitySurface(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "traces.jsonl")
-	s, err := buildServer(serveConfig{workers: 1, cache: 16, traceBuf: 8}, "")
+	s, _, err := buildServer(serveConfig{workers: 1, cache: 16, traceBuf: 8, traceSample: 1}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestObservabilitySurface(t *testing.T) {
 // TestBuildServerTracingDisabled: -trace-buf 0 yields a nil tracer and a
 // 404 on both trace endpoints.
 func TestBuildServerTracingDisabled(t *testing.T) {
-	s, err := buildServer(serveConfig{workers: 1}, "")
+	s, _, err := buildServer(serveConfig{workers: 1}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,6 +85,14 @@ type DynamicOptions struct {
 	// to snapshot+truncate (see DynamicBC.LogBase).
 	LogCompactAt int
 	LogTruncate  bool
+
+	// Transport pins the engine's machine regions to an external backend
+	// (e.g. a tcpnet mesh) instead of the in-process simulated machine;
+	// its Size must equal Procs. nil keeps the simulated machine. The
+	// field is process-local and never serialized: rank-per-process
+	// deployments replicate the remaining options verbatim to every rank
+	// (internal/rankrun) and each process supplies its own endpoint here.
+	Transport machine.Transport
 }
 
 // CommStats re-exports the engine's modeled-communication aggregate.
@@ -170,6 +178,7 @@ func NewDynamicBC(g *Graph, opt DynamicOptions) (*DynamicBC, error) {
 		CacheSets:      opt.CacheSets,
 		LogCompactAt:   opt.LogCompactAt,
 		LogTruncate:    opt.LogTruncate,
+		Transport:      opt.Transport,
 	})
 	if err != nil {
 		return nil, err

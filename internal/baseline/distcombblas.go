@@ -7,6 +7,7 @@ import (
 	"repro/internal/distmat"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
 )
@@ -17,6 +18,9 @@ type DistCombBLASOptions struct {
 	Batch   int
 	Sources []int32 // when non-nil, process only this single batch (benchmark mode)
 	Model   *machine.CostModel
+	// Transport pins the run to an external machine backend (its Size
+	// must equal Procs); nil uses the in-process simulated machine.
+	Transport machine.Transport
 }
 
 // DistCombBLASResult carries scores plus machine statistics.
@@ -77,9 +81,14 @@ func CombBLASStyleDistributed(g *graph.Graph, opt DistCombBLASOptions) (*DistCom
 	adjCOO := adjCSR.ToCOO()
 	atCOO := sparse.Transpose(adjCSR).ToCOO()
 
-	mach := machine.New(p)
+	mach := opt.Transport
+	if mach == nil {
+		mach = sim.New(p)
+	} else if mach.Size() != p {
+		return nil, fmt.Errorf("combblas: transport has %d ranks, want %d", mach.Size(), p)
+	}
 	if opt.Model != nil {
-		mach.Model = *opt.Model
+		mach.SetModel(*opt.Model)
 	}
 	res := &DistCombBLASResult{Plan: plan, BC: make([]float64, g.N)}
 	bcPer := make([][]float64, p)

@@ -18,6 +18,8 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/machine/tcpnet"
 	"repro/internal/spgemm"
 )
 
@@ -35,6 +37,12 @@ type Config struct {
 	// engine and the points record budget vs. modeled communication and
 	// the Hoeffding error bound. Empty skips the sweep.
 	Samples []int
+	// Transport selects the machine backend of every distributed run:
+	// "" or "sim" is the in-process simulated machine; "tcp" brings up a
+	// loopback rank-per-process mesh per run — real sockets carrying the
+	// same program, with bit-identical modeled statistics, so the wall_sec
+	// column measures actual transport overhead.
+	Transport string
 }
 
 func (c *Config) fill() {
@@ -180,15 +188,39 @@ func mteps(adjNNZ, nb, procs int, modelSec float64) float64 {
 	return float64(adjNNZ) * float64(nb) / modelSec / 1e6 / float64(procs)
 }
 
-// runMFBC measures one CTF-MFBC batch.
-func runMFBC(exp string, g *graph.Graph, procs, workers, nb int, seed int64, cons spgemm.Constraint, plan *spgemm.Plan) Point {
-	sources := sampleSources(g.N, nb, seed)
+// newTransport builds the machine backend for one p-rank run. The nil
+// transport keeps the library default (in-process simulated machine);
+// "tcp" starts a loopback mesh that the returned func tears down.
+func (c Config) newTransport(p int) (machine.Transport, func(), error) {
+	switch c.Transport {
+	case "", "sim":
+		return nil, func() {}, nil
+	case "tcp":
+		mesh, err := tcpnet.StartLocalMesh(p, tcpnet.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return mesh, func() { mesh.Close() }, nil
+	}
+	return nil, nil, fmt.Errorf("bench: unknown transport %q (want sim or tcp)", c.Transport)
+}
+
+// runMFBC measures one CTF-MFBC batch on cfg's machine backend.
+func runMFBC(exp string, g *graph.Graph, cfg Config, procs, nb int, cons spgemm.Constraint, plan *spgemm.Plan) Point {
+	sources := sampleSources(g.N, nb, cfg.Seed)
 	pt := Point{
 		Experiment: exp, Graph: g.Name, Engine: "ctf-mfbc", Weighted: g.Weighted,
 		Procs: procs, Batch: len(sources), N: g.N, M: g.M(),
 	}
+	tr, done, err := cfg.newTransport(procs)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	defer done()
 	res, err := core.MFBCDistributed(g, core.DistOptions{
-		Procs: procs, Workers: workers, Sources: sources, Constraint: cons, Plan: plan,
+		Procs: procs, Workers: cfg.Workers, Sources: sources, Constraint: cons, Plan: plan,
+		Transport: tr,
 	})
 	if err != nil {
 		pt.Err = err.Error()
@@ -206,14 +238,20 @@ func runMFBC(exp string, g *graph.Graph, procs, workers, nb int, seed int64, con
 }
 
 // runCombBLAS measures one CombBLAS-style batch.
-func runCombBLAS(exp string, g *graph.Graph, procs, nb int, seed int64) Point {
-	sources := sampleSources(g.N, nb, seed)
+func runCombBLAS(exp string, g *graph.Graph, cfg Config, procs, nb int) Point {
+	sources := sampleSources(g.N, nb, cfg.Seed)
 	pt := Point{
 		Experiment: exp, Graph: g.Name, Engine: "combblas", Weighted: g.Weighted,
 		Procs: procs, Batch: len(sources), N: g.N, M: g.M(),
 	}
+	tr, done, err := cfg.newTransport(procs)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	defer done()
 	res, err := baseline.CombBLASStyleDistributed(g, baseline.DistCombBLASOptions{
-		Procs: procs, Sources: sources,
+		Procs: procs, Sources: sources, Transport: tr,
 	})
 	if err != nil {
 		pt.Err = err.Error()
@@ -288,7 +326,7 @@ func Fig1a(cfg Config) ([]Point, error) {
 			return nil, err
 		}
 		for _, p := range cfg.Procs {
-			pt := runMFBC("fig1a", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			pt := runMFBC("fig1a", g, cfg, p, cfg.Batch, spgemm.AnyPlan, nil)
 			printPoint(cfg, pt)
 			pts = append(pts, pt)
 		}
@@ -313,7 +351,7 @@ func Fig1b(cfg Config) ([]Point, error) {
 			return nil, err
 		}
 		for _, p := range cfg.Procs {
-			pt := runCombBLAS("fig1b", g, p, cfg.Batch, cfg.Seed)
+			pt := runCombBLAS("fig1b", g, cfg, p, cfg.Batch)
 			printPoint(cfg, pt)
 			pts = append(pts, pt)
 		}
@@ -337,11 +375,11 @@ func Fig1c(cfg Config) ([]Point, error) {
 		weighted.AddUniformWeights(1, 100, cfg.Seed+1)
 		weighted.Name = base.Name + "-w"
 		for _, p := range cfg.Procs {
-			m := runMFBC("fig1c", base, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			m := runMFBC("fig1c", base, cfg, p, cfg.Batch, spgemm.AnyPlan, nil)
 			printPoint(cfg, m)
-			c := runCombBLAS("fig1c", base, p, cfg.Batch, cfg.Seed)
+			c := runCombBLAS("fig1c", base, cfg, p, cfg.Batch)
 			printPoint(cfg, c)
-			w := runMFBC("fig1c", weighted, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			w := runMFBC("fig1c", weighted, cfg, p, cfg.Batch, spgemm.AnyPlan, nil)
 			printPoint(cfg, w)
 			pts = append(pts, m, c, w)
 		}
@@ -369,9 +407,9 @@ func Fig2a(cfg Config) ([]Point, error) {
 			m := int(s.f * float64(n) * float64(n))
 			g := graph.Uniform(n, m, false, cfg.Seed+int64(n))
 			g.Name = fmt.Sprintf("uni-n0=%d-f=%.3g%%", s.n0, s.f*100)
-			mp := runMFBC("fig2a", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			mp := runMFBC("fig2a", g, cfg, p, cfg.Batch, spgemm.AnyPlan, nil)
 			printPoint(cfg, mp)
-			cp := runCombBLAS("fig2a", g, p, cfg.Batch, cfg.Seed)
+			cp := runCombBLAS("fig2a", g, cfg, p, cfg.Batch)
 			printPoint(cfg, cp)
 			pts = append(pts, mp, cp)
 		}
@@ -398,9 +436,9 @@ func Fig2b(cfg Config) ([]Point, error) {
 			m := s.k * n / 2
 			g := graph.Uniform(n, m, false, cfg.Seed+int64(n))
 			g.Name = fmt.Sprintf("uni-n0=%d-k=%d", s.n0, s.k)
-			mp := runMFBC("fig2b", g, p, cfg.Workers, cfg.Batch, cfg.Seed, spgemm.AnyPlan, nil)
+			mp := runMFBC("fig2b", g, cfg, p, cfg.Batch, spgemm.AnyPlan, nil)
 			printPoint(cfg, mp)
-			cp := runCombBLAS("fig2b", g, p, cfg.Batch, cfg.Seed)
+			cp := runCombBLAS("fig2b", g, cfg, p, cfg.Batch)
 			printPoint(cfg, cp)
 			pts = append(pts, mp, cp)
 		}
@@ -427,8 +465,8 @@ func Table3(cfg Config) ([]Point, error) {
 			return nil, err
 		}
 		for _, run := range []func() Point{
-			func() Point { return runCombBLAS("table3", g, p, nb, cfg.Seed) },
-			func() Point { return runMFBC("table3", g, p, cfg.Workers, nb, cfg.Seed, spgemm.AnyPlan, nil) },
+			func() Point { return runCombBLAS("table3", g, cfg, p, nb) },
+			func() Point { return runMFBC("table3", g, cfg, p, nb, spgemm.AnyPlan, nil) },
 		} {
 			pt := run()
 			if pt.Err != "" {
@@ -463,7 +501,7 @@ func AblateDecomp(cfg Config) ([]Point, error) {
 		{"2D-only", spgemm.Only2D},
 		{"3D-only", spgemm.Only3D},
 	} {
-		pt := runMFBC("ablate-decomp", g, p, cfg.Workers, cfg.Batch, cfg.Seed, c.cons, nil)
+		pt := runMFBC("ablate-decomp", g, cfg, p, cfg.Batch, c.cons, nil)
 		pt.Graph = g.Name + "/" + c.name
 		printPoint(cfg, pt)
 		pts = append(pts, pt)
@@ -489,7 +527,7 @@ func AblateBatch(cfg Config) ([]Point, error) {
 	}
 	var pts []Point
 	for _, nb := range sizes {
-		pt := runMFBC("ablate-batch", g, p, cfg.Workers, nb, cfg.Seed, spgemm.AnyPlan, nil)
+		pt := runMFBC("ablate-batch", g, cfg, p, nb, spgemm.AnyPlan, nil)
 		printPoint(cfg, pt)
 		pts = append(pts, pt)
 	}

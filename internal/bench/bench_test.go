@@ -167,3 +167,41 @@ func TestMTEPS(t *testing.T) {
 		t.Fatal("zero time must yield zero rate")
 	}
 }
+
+// TestTransportDifferential re-runs one experiment per engine family on
+// the loopback TCP mesh and requires every modeled column to match the
+// simulated backend exactly — the bench-level pin that -transport only
+// changes how bytes move, never what the machine computes.
+func TestTransportDifferential(t *testing.T) {
+	for _, id := range []string{"fig1c", "streaming-dist"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			sim := quickCfg()
+			tcp := quickCfg()
+			tcp.Transport = "tcp"
+			simPts, err := Run(id, sim)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			tcpPts, err := Run(id, tcp)
+			if err != nil {
+				t.Fatalf("tcp: %v", err)
+			}
+			if len(simPts) != len(tcpPts) {
+				t.Fatalf("point counts: sim %d, tcp %d", len(simPts), len(tcpPts))
+			}
+			for i := range simPts {
+				s, c := simPts[i], tcpPts[i]
+				if s.Graph != c.Graph || s.Engine != c.Engine || s.Procs != c.Procs {
+					t.Fatalf("point %d identity diverged: sim %+v, tcp %+v", i, s, c)
+				}
+				if s.ModelSec != c.ModelSec || s.CommSec != c.CommSec ||
+					s.Bytes != c.Bytes || s.Msgs != c.Msgs || s.Plan != c.Plan ||
+					s.MTEPSNode != c.MTEPSNode || s.Err != c.Err {
+					t.Errorf("point %d (%s/%s p=%d): modeled columns diverged:\n sim %+v\n tcp %+v",
+						i, s.Graph, s.Engine, s.Procs, s, c)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/distmat"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
 )
@@ -58,7 +59,7 @@ func AblateCannon(cfg Config) ([]Point, error) {
 
 	var pts []Point
 	for _, v := range variants {
-		mach := machine.New(p)
+		mach := sim.New(p)
 		stats, err := mach.Run(func(proc *machine.Proc) {
 			sess := spgemm.NewSession(proc)
 			sess.Workers = cfg.Workers

@@ -68,11 +68,17 @@ func StreamingDist(cfg Config) ([]Point, error) {
 			// of the *incremental* apply, and a full-recompute fallback
 			// (identical in both engines) would blank the comparison on
 			// small quick-mode meshes.
+			tr, done, err := cfg.newTransport(p)
+			if err != nil {
+				return nil, err
+			}
 			eng, err := dynamic.New(base, dynamic.Config{
 				Procs: p, Batch: cfg.Batch, Workers: cfg.Workers,
 				DirtyThreshold: -1, Seed: cfg.Seed, NoFuse: va.noFuse,
+				Transport: tr,
 			})
 			if err != nil {
+				done()
 				return nil, err
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed*3 + int64(p)))
@@ -80,6 +86,7 @@ func StreamingDist(cfg Config) ([]Point, error) {
 				batch := meshBatch(rng, eng.Snapshot().Graph, 1+rng.Intn(2))
 				rep, err := eng.Apply(batch)
 				if err != nil {
+					done()
 					return nil, err
 				}
 				pt := Point{
@@ -95,10 +102,16 @@ func StreamingDist(cfg Config) ([]Point, error) {
 				pts = append(pts, pt)
 			}
 			evolved = eng.Snapshot().Graph
+			done()
 		}
 		// The baseline every apply is implicitly compared against: a cold
 		// from-scratch distributed run on the evolved topology.
-		full, err := core.MFBCDistributed(evolved, core.DistOptions{Procs: p, Workers: cfg.Workers, Batch: cfg.Batch})
+		ftr, fdone, err := cfg.newTransport(p)
+		if err != nil {
+			return nil, err
+		}
+		full, err := core.MFBCDistributed(evolved, core.DistOptions{Procs: p, Workers: cfg.Workers, Batch: cfg.Batch, Transport: ftr})
+		fdone()
 		if err != nil {
 			return nil, err
 		}
@@ -122,12 +135,18 @@ func StreamingDist(cfg Config) ([]Point, error) {
 			if budget <= 0 {
 				continue
 			}
+			str, sdone, err := cfg.newTransport(p)
+			if err != nil {
+				return nil, err
+			}
 			eng, err := dynamic.New(base, dynamic.Config{
 				Procs: p, Batch: cfg.Batch, Workers: cfg.Workers,
 				DirtyThreshold: 0.5, Seed: cfg.Seed,
 				SampleBudget: budget, RefreshEvery: rounds + 1, // keep every apply sampled
+				Transport: str,
 			})
 			if err != nil {
+				sdone()
 				return nil, err
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed*3 + int64(p)))
@@ -135,6 +154,7 @@ func StreamingDist(cfg Config) ([]Point, error) {
 				batch := meshBatch(rng, eng.Snapshot().Graph, 1+rng.Intn(2))
 				rep, err := eng.Apply(batch)
 				if err != nil {
+					sdone()
 					return nil, err
 				}
 				pt := Point{
@@ -149,6 +169,7 @@ func StreamingDist(cfg Config) ([]Point, error) {
 					"apply-sampled", p, pt.Affected, pt.Strategy, pt.Bytes, pt.Msgs, pt.ModelSec, pt.Plan, budget, pt.ErrBound)
 				pts = append(pts, pt)
 			}
+			sdone()
 		}
 	}
 	if !ran {

@@ -8,18 +8,21 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/algebra"
 	"repro/internal/distmat"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
 )
 
 // DistOptions configures a distributed MFBC run.
 type DistOptions struct {
-	Procs      int                // simulated processor count (p)
-	Workers    int                // per-rank local-kernel parallelism; 0 = fair share of host cores across ranks, 1 = sequential
+	Procs      int                // processor count (p); with a Transport it must match Transport.Size()
+	Workers    int                // per-rank local-kernel parallelism; 0 = fair share of host cores across local ranks, 1 = sequential
 	Batch      int                // n_b; ≤0 selects min(n, 128)
 	Sources    []int32            // when non-nil, process only this single batch (benchmark mode); BC holds the partial contribution Σ_{s∈Sources} δ(s,·)
 	Plan       *spgemm.Plan       // force a decomposition; nil = automatic search
@@ -27,6 +30,28 @@ type DistOptions struct {
 	Model      *machine.CostModel // override the α–β–γ constants
 	Timeout    int                // seconds per collective watchdog; 0 = default
 	CacheSets  int                // per-rank stationary-cache bound in working sets per matrix; ≤ 0 = unbounded
+	// Transport pins every region of this run/session to an external
+	// machine backend (e.g. a tcpnet rank mesh) instead of a fresh
+	// simulated machine per region. The caller owns its lifecycle; Model
+	// and Timeout overrides are applied to it when set.
+	Transport machine.Transport
+}
+
+// transportFor returns the machine backend for a region: the persistent
+// externally-managed transport when one is configured (rank-per-process
+// deployments), else a fresh simulated machine of p ranks.
+func transportFor(p int, opt DistOptions) machine.Transport {
+	tr := opt.Transport
+	if tr == nil {
+		tr = sim.New(p)
+	}
+	if opt.Model != nil {
+		tr.SetModel(*opt.Model)
+	}
+	if opt.Timeout > 0 {
+		tr.SetTimeout(time.Duration(opt.Timeout) * time.Second)
+	}
+	return tr
 }
 
 // DistResult is the outcome of a distributed run.
@@ -68,23 +93,18 @@ type planner struct {
 	model  machine.CostModel
 	cons   spgemm.Constraint
 	forced *spgemm.Plan
-	bBytes int64 // stationary-operand wire size; 0 selects weightBytes
 }
 
 func (pl planner) planFor(rows int, nnzA int64, bytesA int64) spgemm.Plan {
 	if pl.forced != nil {
 		return *pl.forced
 	}
-	bBytes := pl.bBytes
-	if bBytes == 0 {
-		bBytes = weightBytes
-	}
 	pr := spgemm.Problem{
 		M: rows, K: pl.n, N: pl.n,
 		NNZA:   nnzA,
 		NNZB:   pl.adjNNZ,
 		BytesA: bytesA,
-		BytesB: bBytes,
+		BytesB: weightBytes,
 		BytesC: bytesA,
 	}
 	return spgemm.Search(pl.p, pr, pl.model, pl.cons)

@@ -70,6 +70,9 @@ func NewDistSession(g *graph.Graph, opt DistOptions) (*DistSession, error) {
 	if opt.Plan != nil && opt.Plan.Procs() != p {
 		return nil, fmt.Errorf("core: plan %s does not tile %d processors", opt.Plan, p)
 	}
+	if opt.Transport != nil && opt.Transport.Size() != p {
+		return nil, fmt.Errorf("core: transport spans %d ranks but session wants %d", opt.Transport.Size(), p)
+	}
 	s := &DistSession{opt: opt, p: p}
 	s.install(g, g.Adjacency())
 	return s, nil
@@ -251,13 +254,10 @@ func (s *DistSession) RunCtx(ctx context.Context, sources []int32) (*DistResult,
 // run executes one simulated-machine region over the resident operands.
 func (s *DistSession) run(sources []int32, nb int) (*DistResult, error) {
 	g := s.g
-	mach := machine.New(s.p)
-	if s.opt.Model != nil {
-		mach.Model = *s.opt.Model
-	}
+	mach := transportFor(s.p, s.opt)
 	pl := planner{
 		p: s.p, n: g.N, adjNNZ: int64(g.AdjacencyNNZ()),
-		model: mach.Model, cons: s.opt.Constraint, forced: s.opt.Plan,
+		model: mach.Model(), cons: s.opt.Constraint, forced: s.opt.Plan,
 	}
 	// The representative plan reported back: the one a typical frontier
 	// product gets (individual operations may choose differently).

@@ -23,12 +23,18 @@
 // Because the pair components' identities are exact absorbing elements and
 // the local kernels fold equal-coordinate contributions stably, the old
 // and new components of the fused result are bit-identical to what the two
-// separate scalar regions produce under the same decomposition plans.
+// separate scalar regions produce — under forced plans and under automatic
+// planning alike: every multiplication is planned per side from that side's
+// own live frontier counts with the scalar planner inputs, and when the two
+// sides disagree on a plan the product is executed once per side under its
+// own plan and merged (mulPairPerSide), so each side always runs exactly
+// the plan sequence its scalar region would have chosen.
 package core
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/distmat"
@@ -36,13 +42,6 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
-)
-
-// Wire sizes of the pair element types, for plan costing.
-const (
-	multpathPairBytes = 40 // Entry[MultPathPair]: 2×int32 + 2×(float64+float64)
-	centpathPairBytes = 56 // Entry[CentPathPair]: 2×int32 + 2×(float64+float64+int64)
-	weightPairBytes   = 24 // Entry[WeightPair]: 2×int32 + 2×float64
 )
 
 // IncrementalResult is the outcome of one fused incremental region.
@@ -98,20 +97,19 @@ func (s *DistSession) ApplyIncrementalCtx(ctx context.Context, oldSources []int3
 		nb = len(sources)
 	}
 
-	mach := machine.New(s.p)
-	if s.opt.Model != nil {
-		mach.Model = *s.opt.Model
+	mach := transportFor(s.p, s.opt)
+	// One planner per side, with exactly the inputs the side's scalar region
+	// would have used (its own adjacency count, the scalar wire sizes): the
+	// fused sweeps feed each planner that side's own live frontier counts,
+	// so auto-planned fused applies replay the scalar plan sequences and
+	// stay bit-identical to the two-region path.
+	plOld := planner{
+		p: s.p, n: n, adjNNZ: int64(oldG.AdjacencyNNZ()),
+		model: mach.Model(), cons: s.opt.Constraint, forced: s.opt.Plan,
 	}
-	unionNNZ := int64(oldG.AdjacencyNNZ())
-	if nz := int64(newG.AdjacencyNNZ()); nz > unionNNZ {
-		unionNNZ = nz
-	}
-	pl := planner{
-		p: s.p, n: n, adjNNZ: unionNNZ,
-		model: mach.Model, cons: s.opt.Constraint, forced: s.opt.Plan,
-		bBytes: weightPairBytes,
-	}
-	plan := pl.planFor(nb, int64(float64(nb)*newG.AvgDegree()), multpathPairBytes)
+	plNew := plOld
+	plNew.adjNNZ = int64(newG.AdjacencyNNZ())
+	plan := plNew.planFor(nb, int64(float64(nb)*newG.AvgDegree()), multpathBytes)
 
 	// Rank 0's scatter payload: every rank's share of the edge diff (the
 	// diffs whose derived adjacency coordinates land on one of the rank's
@@ -154,17 +152,30 @@ func (s *DistSession) ApplyIncrementalCtx(ctx context.Context, oldSources []int3
 
 		// The fused pair sweeps: both sides in lock-step.
 		proc.Phase(machine.PhaseSweep)
+		cpp := algebra.CentPathPairMonoid()
+		mpp := algebra.MultPathPairMonoid()
 		bcOld := make([]float64, n)
 		bcNew := make([]float64, n)
 		iters := 0
 		batches := 0
 		for _, batch := range batchList(n, nb, sources) {
 			batches++
-			t, itF := distMFBFPair(sess, pl, aPair, oldAdj, newAdj, batch, inOld, inNew, shard)
-			z, t, itB := distMFBrPair(sess, pl, atPair, t, batch)
+			t, itF := distMFBFPair(sess, plOld, plNew, aPair, oldAdj, newAdj, batch, inOld, inNew, shard)
+			z, t, itB, distO, distN := distMFBrPair(sess, plOld, plNew, atPair, t, batch)
 			iters += itF + itB
-			distmat.ZipJoin(z, t, func(_, j int32, zc algebra.CentPathPair, tm algebra.MultPathPair) {
+			// Accumulate each side under the distribution its scalar sweep
+			// ended in (a free no-op whenever the sides agreed on the final
+			// plan): the per-rank partial sums — and therefore the rounding
+			// of the closing allreduce — group exactly as the two scalar
+			// regions' do.
+			zO := distmat.Redistribute(world, z, distO, cpp)
+			tO := distmat.Redistribute(world, t, distO, mpp)
+			distmat.ZipJoin(zO, tO, func(_, j int32, zc algebra.CentPathPair, tm algebra.MultPathPair) {
 				bcOld[j] += zc.Old.P * tm.Old.M
+			})
+			zN := distmat.Redistribute(world, z, distN, cpp)
+			tN := distmat.Redistribute(world, t, distN, mpp)
+			distmat.ZipJoin(zN, tN, func(_, j int32, zc algebra.CentPathPair, tm algebra.MultPathPair) {
 				bcNew[j] += zc.New.P * tm.New.M
 			})
 		}
@@ -315,13 +326,107 @@ func (s *DistSession) stagePairRank(rk *distRank, rank int, editsA, editsAt []sp
 	return aPair, atPair, ops
 }
 
+// sideNNZ counts, with one small allreduce, the pair entries whose old and
+// new components are live — the per-side frontier sizes the scalar sweeps
+// would have measured, and therefore the per-side planner inputs.
+func sideNNZ[T any](world *machine.Comm, m *distmat.Mat[T], oldLive, newLive func(T) bool) (int64, int64) {
+	cnt := []int64{0, 0}
+	for _, e := range m.Local {
+		if oldLive(e.V) {
+			cnt[0]++
+		}
+		if newLive(e.V) {
+			cnt[1]++
+		}
+	}
+	tot := machine.Allreduce(world, cnt, func(a, b int64) int64 { return a + b })
+	return tot[0], tot[1]
+}
+
+// sideProject masks a pair matrix onto one component: entries whose kept
+// side is live survive with the other component zeroed — exactly the
+// operand set the scalar sweep of that side would multiply.
+func sideProject[T any](m *distmat.Mat[T], keep func(T) (T, bool)) *distmat.Mat[T] {
+	out := &distmat.Mat[T]{Rows: m.Rows, Cols: m.Cols, Dist: m.Dist}
+	for _, e := range m.Local {
+		if v, ok := keep(e.V); ok {
+			out.Local = append(out.Local, sparse.Entry[T]{I: e.I, J: e.J, V: v})
+		}
+	}
+	return out
+}
+
+func oldOnlyMult(v algebra.MultPathPair) (algebra.MultPathPair, bool) {
+	if algebra.MultPathIsZero(v.Old) {
+		return algebra.MultPathPairZero(), false
+	}
+	return algebra.MultPathPair{Old: v.Old, New: algebra.MultPathZero()}, true
+}
+
+func newOnlyMult(v algebra.MultPathPair) (algebra.MultPathPair, bool) {
+	if algebra.MultPathIsZero(v.New) {
+		return algebra.MultPathPairZero(), false
+	}
+	return algebra.MultPathPair{Old: algebra.MultPathZero(), New: v.New}, true
+}
+
+func oldOnlyCent(v algebra.CentPathPair) (algebra.CentPathPair, bool) {
+	if algebra.CentPathIsZero(v.Old) {
+		return algebra.CentPathPairZero(), false
+	}
+	return algebra.CentPathPair{Old: v.Old, New: algebra.CentPathZero()}, true
+}
+
+func newOnlyCent(v algebra.CentPathPair) (algebra.CentPathPair, bool) {
+	if algebra.CentPathIsZero(v.New) {
+		return algebra.CentPathPairZero(), false
+	}
+	return algebra.CentPathPair{Old: algebra.CentPathZero(), New: v.New}, true
+}
+
+// fusedDualProducts counts per-side (dual) products executed because the
+// two sides' automatic plans diverged — test observability for the plan
+// fidelity of the fused path. Every rank of every region increments it.
+var fusedDualProducts atomic.Int64
+
+// mulPairPerSide runs one fused frontier product with per-side plans. When
+// only one side is live, or both sides chose the same plan, a single pair
+// multiply executes under that plan and the componentwise-exact identities
+// make each live side bit-identical to its scalar product. When the plans
+// diverge, the frontier is masked per side and each mask is multiplied
+// under its own side's plan, then the two half-products are merged — the
+// extra product is the honest price of replaying both scalar plan
+// sequences exactly, and it is only paid on the (rare) divergent
+// iterations. The result carries the old side's output distribution in
+// that case.
+func mulPairPerSide[T any](
+	sess *spgemm.Session,
+	planOld, planNew spgemm.Plan, nnzOld, nnzNew int64,
+	frontier *distmat.Mat[T], b *distmat.Mat[algebra.WeightPair],
+	f func(T, algebra.WeightPair) T,
+	mon algebra.Monoid[T], wp algebra.Monoid[algebra.WeightPair],
+	oldOnly, newOnly func(T) (T, bool),
+) *distmat.Mat[T] {
+	switch {
+	case nnzOld == 0:
+		return spgemm.Multiply(sess, planNew, frontier, b, f, mon, mon, wp, true)
+	case nnzNew == 0 || planOld == planNew:
+		return spgemm.Multiply(sess, planOld, frontier, b, f, mon, mon, wp, true)
+	}
+	fusedDualProducts.Add(1)
+	world := sess.Proc.World()
+	extOld := spgemm.Multiply(sess, planOld, sideProject(frontier, oldOnly), b, f, mon, mon, wp, true)
+	extNew := spgemm.Multiply(sess, planNew, sideProject(frontier, newOnly), b, f, mon, mon, wp, true)
+	return distmat.EWise(extOld, distmat.Redistribute(world, extNew, extOld.Dist, mon), mon)
+}
+
 // distMFBFPair is Algorithm 1 over the pair semiring: one sweep advances
 // the old-side frontier (over the pre-batch adjacency component) and the
 // new-side frontier (over the post-batch component) in lock-step. Row i of
 // the frontier is union source batch[i]; a side's component is seeded only
 // when the source belongs to that side.
 func distMFBFPair(
-	sess *spgemm.Session, pl planner,
+	sess *spgemm.Session, plOld, plNew planner,
 	aPair *distmat.Mat[algebra.WeightPair],
 	oldCSR, newCSR *sparse.CSR[float64],
 	batch []int32, inOld, inNew []bool, shard distmat.Dist,
@@ -371,17 +476,26 @@ func distMFBFPair(
 	t := distmat.FromGlobal(world.Rank(), init, shard, mpp)
 	frontier := t
 	iters := 0
+	var planOld, planNew spgemm.Plan
 	for {
-		nnz := distmat.GlobalNNZ(world, frontier)
-		if nnz == 0 {
+		nnzOld, nnzNew := sideNNZ(world, frontier,
+			func(v algebra.MultPathPair) bool { return !algebra.MultPathIsZero(v.Old) },
+			func(v algebra.MultPathPair) bool { return !algebra.MultPathIsZero(v.New) })
+		if nnzOld == 0 && nnzNew == 0 {
 			break
 		}
 		iters++
 		if iters > n+1 {
 			panic("core: fused MFBF failed to converge")
 		}
-		plan := pl.planFor(nb, nnz, multpathPairBytes)
-		ext := spgemm.Multiply(sess, plan, frontier, aPair, algebra.BFActionPair, mpp, mpp, wp, true)
+		if nnzOld > 0 {
+			planOld = plOld.planFor(nb, nnzOld, multpathBytes)
+		}
+		if nnzNew > 0 {
+			planNew = plNew.planFor(nb, nnzNew, multpathBytes)
+		}
+		ext := mulPairPerSide(sess, planOld, planNew, nnzOld, nnzNew, frontier, aPair,
+			algebra.BFActionPair, mpp, wp, oldOnlyMult, newOnlyMult)
 		ext = ext.Filter(func(i, j int32, _ algebra.MultPathPair) bool { return j != batch[i] })
 		t = distmat.Redistribute(world, t, ext.Dist, mpp)
 		tNew := distmat.EWise(t, ext, mpp)
@@ -423,18 +537,28 @@ func screenFrontierPair(ext, t []sparse.Entry[algebra.MultPathPair]) []sparse.En
 	return out
 }
 
-// distMFBrPair is Algorithm 2 over the pair semiring.
+// distMFBrPair is Algorithm 2 over the pair semiring. Alongside Z, the
+// realigned T, and the iteration count, it returns each side's final output
+// distribution — the distribution that side's scalar sweep would have left
+// Z in, which the caller adopts per side when accumulating centrality so
+// the summation grouping matches the two-region path bitwise.
 func distMFBrPair(
-	sess *spgemm.Session, pl planner,
+	sess *spgemm.Session, plOld, plNew planner,
 	atPair *distmat.Mat[algebra.WeightPair], t *distmat.Mat[algebra.MultPathPair],
 	batch []int32,
-) (*distmat.Mat[algebra.CentPathPair], *distmat.Mat[algebra.MultPathPair], int) {
+) (*distmat.Mat[algebra.CentPathPair], *distmat.Mat[algebra.MultPathPair], int, distmat.Dist, distmat.Dist) {
 	cpp := algebra.CentPathPairMonoid()
 	mpp := algebra.MultPathPairMonoid()
 	wp := algebra.WeightPairMonoid()
 	world := sess.Proc.World()
 	n := t.Cols
 	nb := len(batch)
+	dcFor := func(plan spgemm.Plan) distmat.Dist {
+		_, _, dc := spgemm.Dists(plan, nb, n, n)
+		return dc
+	}
+	oldLiveMult := func(v algebra.MultPathPair) bool { return !algebra.MultPathIsZero(v.Old) }
+	newLiveMult := func(v algebra.MultPathPair) bool { return !algebra.MultPathIsZero(v.New) }
 
 	z0 := distmat.Map(t, cpp, func(_, _ int32, v algebra.MultPathPair) algebra.CentPathPair {
 		out := algebra.CentPathPairZero()
@@ -446,9 +570,12 @@ func distMFBrPair(
 		}
 		return out
 	})
-	nnzT := distmat.GlobalNNZ(world, t)
-	plan := pl.planFor(nb, nnzT, centpathPairBytes)
-	p1 := spgemm.Multiply(sess, plan, z0, atPair, algebra.BrandesActionPair, cpp, cpp, wp, true)
+	nnzTOld, nnzTNew := sideNNZ(world, t, oldLiveMult, newLiveMult)
+	planOld := plOld.planFor(nb, nnzTOld, centpathBytes)
+	planNew := plNew.planFor(nb, nnzTNew, centpathBytes)
+	distOld, distNew := dcFor(planOld), dcFor(planNew)
+	p1 := mulPairPerSide(sess, planOld, planNew, nnzTOld, nnzTNew, z0, atPair,
+		algebra.BrandesActionPair, cpp, wp, oldOnlyCent, newOnlyCent)
 	t = distmat.Redistribute(world, t, p1.Dist, mpp)
 	counts := screenCentPair(p1.Local, t.Local)
 
@@ -457,16 +584,28 @@ func distMFBrPair(
 
 	iters := 0
 	for {
-		nnz := distmat.GlobalNNZ(world, frontier)
-		if nnz == 0 {
+		nnzOld, nnzNew := sideNNZ(world, frontier,
+			func(v algebra.CentPathPair) bool { return !algebra.CentPathIsZero(v.Old) },
+			func(v algebra.CentPathPair) bool { return !algebra.CentPathIsZero(v.New) })
+		if nnzOld == 0 && nnzNew == 0 {
 			break
 		}
 		iters++
 		if iters > n+1 {
 			panic("core: fused MFBr failed to converge")
 		}
-		plan = pl.planFor(nb, nnz, centpathPairBytes)
-		p := spgemm.Multiply(sess, plan, frontier, atPair, algebra.BrandesActionPair, cpp, cpp, wp, true)
+		// A side whose scalar loop has already terminated keeps its last
+		// plan and distribution; its components ride along as exact zeros.
+		if nnzOld > 0 {
+			planOld = plOld.planFor(nb, nnzOld, centpathBytes)
+			distOld = dcFor(planOld)
+		}
+		if nnzNew > 0 {
+			planNew = plNew.planFor(nb, nnzNew, centpathBytes)
+			distNew = dcFor(planNew)
+		}
+		p := mulPairPerSide(sess, planOld, planNew, nnzOld, nnzNew, frontier, atPair,
+			algebra.BrandesActionPair, cpp, wp, oldOnlyCent, newOnlyCent)
 		if p.Dist.Key != z.Dist.Key {
 			t = distmat.Redistribute(world, t, p.Dist, mpp)
 			z = distmat.Redistribute(world, z, p.Dist, cpp)
@@ -475,7 +614,7 @@ func distMFBrPair(
 		z = distmat.EWise(z, pScreened, cpp)
 		frontier = &distmat.Mat[algebra.CentPathPair]{Rows: nb, Cols: n, Dist: z.Dist, Local: collectFrontierPair(z.Local, t.Local)}
 	}
-	return z, t, iters
+	return z, t, iters, distOld, distNew
 }
 
 // screenCentPair keeps, per component, centpath entries matching T's weight

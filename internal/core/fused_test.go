@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/graph"
@@ -128,10 +127,10 @@ func TestFusedApplyMatchesTwoRegion(t *testing.T) {
 	}
 }
 
-// TestFusedApplyMatchesTwoRegionAutoPlan: with automatic plan search the
-// per-iteration plans may differ between fused and scalar sweeps (the
-// union frontier has its own nonzero counts), so scores agree to tolerance
-// rather than bitwise.
+// TestFusedApplyMatchesTwoRegionAutoPlan: under automatic plan search the
+// fused region plans every multiplication per side from that side's own
+// frontier counts, so its results must be bit-identical to the scalar
+// two-region path — exactly as under forced plans.
 func TestFusedApplyMatchesTwoRegionAutoPlan(t *testing.T) {
 	g, g2, diffs, sources := fusedTestSetup(t, false)
 	for _, p := range []int{2, 4, 8} {
@@ -149,13 +148,78 @@ func TestFusedApplyMatchesTwoRegionAutoPlan(t *testing.T) {
 			t.Fatal(err)
 		}
 		for v := range fused.OldBC {
-			if math.Abs(fused.OldBC[v]-oldR.BC[v]) > 1e-9*(1+math.Abs(oldR.BC[v])) {
-				t.Fatalf("p=%d old side BC[%d]: fused %v, two-region %v", p, v, fused.OldBC[v], oldR.BC[v])
+			if fused.OldBC[v] != oldR.BC[v] {
+				t.Fatalf("p=%d old side BC[%d]: fused %v, two-region %v (must be bit-identical)", p, v, fused.OldBC[v], oldR.BC[v])
 			}
-			if math.Abs(fused.NewBC[v]-newR.BC[v]) > 1e-9*(1+math.Abs(newR.BC[v])) {
-				t.Fatalf("p=%d new side BC[%d]: fused %v, two-region %v", p, v, fused.NewBC[v], newR.BC[v])
+			if fused.NewBC[v] != newR.BC[v] {
+				t.Fatalf("p=%d new side BC[%d]: fused %v, two-region %v (must be bit-identical)", p, v, fused.NewBC[v], newR.BC[v])
 			}
 		}
+	}
+}
+
+// TestFusedApplyAutoPlanDivergence drives an edit so asymmetric (a large
+// fraction of the edges deleted) that the two sides' automatic plan
+// searches disagree on at least one iteration, forcing the fused sweep
+// through its dual-product path — and the results must STILL be
+// bit-identical to the two scalar regions.
+func TestFusedApplyAutoPlanDivergence(t *testing.T) {
+	g := graph.Grid2D(9, 9, 1, 5)
+	for i := range g.Edges {
+		g.Edges[i].W = 1 + float64((i*11)%17)/4
+	}
+	g.Weighted = true
+	g2 := g.Clone()
+	var muts []graph.Mutation
+	// Delete every third edge: the new side is far sparser than the old, so
+	// its frontiers (and adjacency counts) feed the planner very different
+	// problem sizes.
+	for i := 0; i < len(g.Edges); i += 3 {
+		muts = append(muts, graph.Mutation{Op: graph.OpRemoveEdge, U: g.Edges[i].U, V: g.Edges[i].V})
+	}
+	if _, err := g2.ApplyAll(muts); err != nil {
+		t.Fatal(err)
+	}
+	var diffs []EdgeDiff
+	for _, m := range muts {
+		w, ok := g2.FindEdge(m.U, m.V)
+		diffs = append(diffs, EdgeDiff{U: m.U, V: m.V, W: w, Present: ok})
+	}
+	var sources []int32
+	for v := 0; v < g.N; v++ {
+		sources = append(sources, int32(v))
+	}
+
+	divergedSomewhere := false
+	for _, p := range []int{4, 8} {
+		opt := DistOptions{Procs: p, Batch: 16}
+		oldR, newR := runTwoRegion(t, g, g2, diffs, sources, opt)
+		sess, err := NewDistSession(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		before := fusedDualProducts.Load()
+		fused, err := sess.ApplyIncremental(sources, g2, nil, diffs, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fusedDualProducts.Load() > before {
+			divergedSomewhere = true
+		}
+		for v := range fused.OldBC {
+			if fused.OldBC[v] != oldR.BC[v] {
+				t.Fatalf("p=%d old side BC[%d]: fused %v, two-region %v (must be bit-identical)", p, v, fused.OldBC[v], oldR.BC[v])
+			}
+			if fused.NewBC[v] != newR.BC[v] {
+				t.Fatalf("p=%d new side BC[%d]: fused %v, two-region %v (must be bit-identical)", p, v, fused.NewBC[v], newR.BC[v])
+			}
+		}
+	}
+	if !divergedSomewhere {
+		t.Fatal("scenario never diverged the per-side plans; the dual-product path went unexercised")
 	}
 }
 

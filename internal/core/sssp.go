@@ -81,13 +81,10 @@ func SSSPDistributed(g *graph.Graph, sources []int32, opt DistOptions) (*SSSPRes
 	if p < 1 {
 		p = 1
 	}
-	mach := machine.New(p)
-	if opt.Model != nil {
-		mach.Model = *opt.Model
-	}
+	mach := transportFor(p, opt)
 	pl := planner{
 		p: p, n: g.N, adjNNZ: int64(g.AdjacencyNNZ()),
-		model: mach.Model, cons: opt.Constraint, forced: opt.Plan,
+		model: mach.Model(), cons: opt.Constraint, forced: opt.Plan,
 	}
 	adjCSR := g.Adjacency()
 	adjCOO := adjCSR.ToCOO()

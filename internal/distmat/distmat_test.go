@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 )
 
@@ -115,7 +116,7 @@ func TestRedistributeRoundTrip(t *testing.T) {
 	want := sparse.FromCOO(coo, addF)
 
 	p := 6
-	mach := machine.New(p)
+	mach := sim.New(p)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		w := proc.World()
 		m := FromGlobal(proc.Rank(), coo, DistShard(p), addF)
@@ -157,7 +158,7 @@ func TestEWiseAndZipJoin(t *testing.T) {
 	want := sparse.EWise(wantA, wantB, addF)
 
 	p := 4
-	mach := machine.New(p)
+	mach := sim.New(p)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		d := DistShard(p)
 		a := FromGlobal(proc.Rank(), cooA, d, addF)

@@ -120,6 +120,16 @@ type Config struct {
 	// (LogBase) and the log empties, so long-lived engines keep bounded
 	// logs and full replayability from the recorded base.
 	LogTruncate bool
+
+	// Transport pins every machine region the engine runs (initial sweep,
+	// incremental re-runs, full fallbacks, sampled estimates) to this
+	// backend instead of an in-process simulated machine. Its Size must
+	// equal Procs. Under a rank-per-process transport every process must
+	// drive an identical engine with an identical op stream — the engine's
+	// host-side decisions are deterministic functions of (initial graph,
+	// Config, batch sequence), which is what makes that replication sound
+	// (see internal/rankrun).
+	Transport machine.Transport
 }
 
 const (
@@ -380,7 +390,7 @@ func (e *Engine) distOpts() core.DistOptions {
 	return core.DistOptions{
 		Procs: e.cfg.Procs, Workers: e.cfg.Workers, Batch: e.cfg.Batch,
 		Plan: e.cfg.Plan, Constraint: e.cfg.Constraint, Model: e.cfg.Model,
-		CacheSets: e.cfg.CacheSets,
+		CacheSets: e.cfg.CacheSets, Transport: e.cfg.Transport,
 	}
 }
 

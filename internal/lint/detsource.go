@@ -10,7 +10,8 @@ import (
 )
 
 // DetSource flags nondeterminism sources inside the model/kernel packages
-// (internal/{core,spgemm,sparse,distmat,algebra,machine}), where any
+// (internal/{core,spgemm,sparse,distmat,algebra,machine} and the
+// simulated backend machine/sim), where any
 // run-to-run variation invalidates differential replay: wall-clock reads
 // (time.Now), the globally seeded math/rand source, and map-range loops
 // whose iteration order selects the result (a break, a return, or an
@@ -27,6 +28,10 @@ var DetSource = &analysis.Analyzer{
 var detScopePackages = map[string]bool{
 	"core": true, "spgemm": true, "sparse": true,
 	"distmat": true, "algebra": true, "machine": true,
+	// The simulated backend replays collectives deterministically, so it
+	// sits in scope; tcpnet deliberately does not — wall-clock I/O is its
+	// entire purpose.
+	"sim": true,
 }
 
 // randConstructors are the package-level math/rand functions that build

@@ -27,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		LockScope,
 		PhaseNames,
 		DetSource,
+		SimAssert,
 	}
 }
 

@@ -32,6 +32,16 @@ func TestDetSource(t *testing.T) {
 	analysistest.Run(t, "testdata", DetSource, "detsource/core")
 }
 
+func TestSimAssert(t *testing.T) {
+	analysistest.Run(t, "testdata", SimAssert, "simassert/caller")
+}
+
+// TestSimAssertMachineTreeExempt: inside the machine tree the backends
+// legitimately name sim types; the fixture carries no want comments.
+func TestSimAssertMachineTreeExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", SimAssert, "simassert/machine")
+}
+
 // TestRepositoryClean runs the full suite over every package of the
 // module: the same gate CI applies via go vet -vettool, kept inside plain
 // `go test ./...` so a finding can never land unnoticed.
@@ -72,10 +82,10 @@ func TestRepositoryClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the suite's composition: five analyzers with
+// TestAnalyzerRegistry pins the suite's composition: six analyzers with
 // stable, distinct names (the names are part of the //lint:allow syntax).
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"maprangefold", "floateq", "lockscope", "phasenames", "detsource"}
+	want := []string{"maprangefold", "floateq", "lockscope", "phasenames", "detsource", "simassert"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

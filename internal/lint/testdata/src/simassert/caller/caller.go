@@ -1,0 +1,45 @@
+// Package caller exercises the simassert analyzer: it holds transports
+// through an interface and tries to peek behind it at the sim backend.
+package caller
+
+import "simassert/sim"
+
+// Transport mimics the machine.Transport interface surface.
+type Transport interface{ Size() int }
+
+func peek(tr Transport) int {
+	if m, ok := tr.(*sim.Machine); ok { // want `type assertion on sim-backend type sim\.Machine`
+		return m.Rank()
+	}
+	return tr.Size()
+}
+
+func switchPeek(v any) int {
+	switch m := v.(type) {
+	case *sim.Machine: // want `type assertion on sim-backend type sim\.Machine`
+		return m.Rank()
+	case interface{ Ranks() []int }, sim.Probe: // want `type assertion on sim-backend type sim\.Probe`
+		_ = m
+	}
+	return 0
+}
+
+// capabilityProbe narrows by method set, not by backend type: legal.
+func capabilityProbe(tr Transport) bool {
+	_, ok := tr.(interface{ Rank() int })
+	return ok
+}
+
+// doublePointer makes sure the pointer chain is followed all the way down.
+func doublePointer(v any) bool {
+	_, ok := v.(**sim.Machine) // want `type assertion on sim-backend type sim\.Machine`
+	return ok
+}
+
+func allowedPeek(tr Transport) int {
+	//lint:allow simassert fixture-sanctioned downcast for a sim-only diagnostic
+	if m, ok := tr.(*sim.Machine); ok {
+		return m.Rank()
+	}
+	return 0
+}

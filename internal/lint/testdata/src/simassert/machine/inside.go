@@ -1,0 +1,14 @@
+// Package machine mimics the real machine package: inside the machine
+// tree, naming sim backend types is the whole point (the backends live
+// there), so the simassert analyzer must stay silent.
+package machine
+
+import "simassert/sim"
+
+// SimRank is a machine-tree helper that legitimately downcasts.
+func SimRank(v interface{ Size() int }) int {
+	if m, ok := v.(*sim.Machine); ok {
+		return m.Rank()
+	}
+	return -1
+}

@@ -1,0 +1,16 @@
+// Package sim is a fixture stand-in for the simulated machine backend:
+// the simassert analyzer matches it by package basename, so fixtures can
+// exercise sim-type assertions without importing the real module.
+package sim
+
+// Machine mimics the simulated backend's concrete transport type.
+type Machine struct{ p int }
+
+// Size mimics the Transport method set.
+func (m *Machine) Size() int { return m.p }
+
+// Rank mimics a sim-only accessor that tempts callers to downcast.
+func (m *Machine) Rank() int { return 0 }
+
+// Probe mimics a sim-only value type (non-pointer assertions).
+type Probe struct{ Ticks int64 }

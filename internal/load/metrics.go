@@ -24,12 +24,17 @@ type MetricsSnapshot map[string]float64
 
 // ParseMetrics parses Prometheus text exposition into a snapshot. Comment
 // and blank lines are skipped; a malformed sample line is an error.
+// OpenMetrics-style exemplar suffixes (` # {...} value`) on histogram
+// bucket lines are stripped — the snapshot carries series values only.
 func ParseMetrics(text string) (MetricsSnapshot, error) {
 	snap := MetricsSnapshot{}
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if j := strings.Index(line, " # "); j >= 0 {
+			line = strings.TrimSpace(line[:j])
 		}
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {

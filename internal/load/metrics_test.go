@@ -25,6 +25,14 @@ y{a="1",b="q r"} 2.5
 	if d["x_total"] != 7 || d[`y{a="1",b="q r"}`] != 1.5 || d["z_new"] != 7 {
 		t.Fatalf("delta = %v", d)
 	}
+	// Exemplar suffixes on histogram buckets parse to the bucket value.
+	ex, err := ParseMetrics("h_bucket{le=\"0.5\"} 3 # {span_id=\"s01\",trace_id=\"t000007\"} 0.31\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex[`h_bucket{le="0.5"}`] != 3 || len(ex) != 1 {
+		t.Fatalf("exemplar line parsed as %v", ex)
+	}
 	if _, err := ParseMetrics("lonelytoken\n"); err == nil {
 		t.Fatal("malformed line must error")
 	}

@@ -13,23 +13,13 @@ func bytesOf[T any](n int) int64 {
 	return int64(n) * int64(unsafe.Sizeof(zero))
 }
 
-// exchange runs one BSP superstep: every member posts its contribution and
-// its current critical-path cost, the barrier flips, read() consumes peer
-// contributions, a second barrier protects slot reuse, and finally each
-// member's cost becomes the group maximum plus its own opCost. The opCost
-// callback sees the group size so charges can follow the §5.1 formulas.
-func exchange[T any](c *Comm, post T, read func(slots []any)) Cost {
-	st := c.state
-	st.slots[c.rank] = post
-	st.costs[c.rank] = c.proc.cost
-	st.bar.await()
-	read(st.slots)
-	group := Cost{}
-	for _, pc := range st.costs {
-		group = group.Max(pc)
-	}
-	st.bar.await()
-	return group
+// step posts one superstep contribution through the communicator's
+// backend group and returns the group's critical-path maximum; the
+// collective then assigns the member's cost as max + its own charge. The
+// charge callbacks see every member's posted Size so the §5.1 formulas
+// need no peer payloads.
+func (c *Comm) step(post Payload, read func(slots []any, sizes []int64)) Cost {
+	return c.group.Step(c.proc, c.rank, post, read)
 }
 
 // commCost returns the charge for a collective, which is free on a
@@ -44,25 +34,31 @@ func commCost(size int, c Cost) Cost {
 
 // Barrier synchronizes the group, charging ⌈log₂p⌉ latency.
 func Barrier(c *Comm) {
-	group := exchange(c, struct{}{}, func([]any) {})
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Msgs: logMsgs(c.Size())}))
+	group := c.step(Payload{}, func([]any, []int64) {})
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Msgs: LogMsgs(c.Size())}))
 }
 
 // Bcast broadcasts root's data to every member. Cost per the paper's
 // Table-3 model: 2xβ + 2⌈log₂p⌉α with x the message size.
 func Bcast[T any](c *Comm, root int, data []T) []T {
 	var out []T
-	group := exchange(c, data, func(slots []any) {
-		src := slots[root].([]T)
+	pl := Payload{V: data, Size: int64(len(data))}
+	if c.rank == root {
+		pl.Enc = func(int) []byte { return EncodeSlice(data) }
+	} else {
+		pl.Dec = func(src int, b []byte) any { return DecodeSlice[T](b) }
+	}
+	group := c.step(pl, func(slots []any, _ []int64) {
 		if c.rank == root {
 			out = data
 			return
 		}
+		src := slots[root].([]T)
 		out = make([]T, len(src))
 		copy(out, src)
 	})
 	x := bytesOf[T](len(out))
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: 2 * x, Msgs: 2 * logMsgs(c.Size())}))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: 2 * x, Msgs: 2 * LogMsgs(c.Size())}))
 	return out
 }
 
@@ -71,20 +67,28 @@ func Bcast[T any](c *Comm, root int, data []T) []T {
 func Allgather[T any](c *Comm, data []T) [][]T {
 	out := make([][]T, c.Size())
 	total := 0
-	group := exchange(c, data, func(slots []any) {
+	pl := Payload{
+		V:    data,
+		Size: int64(len(data)),
+		Enc:  func(int) []byte { return EncodeSlice(data) },
+		Dec:  func(src int, b []byte) any { return DecodeSlice[T](b) },
+	}
+	group := c.step(pl, func(slots []any, sizes []int64) {
+		for _, s := range sizes {
+			total += int(s)
+		}
 		for i := range out {
-			src := slots[i].([]T)
-			total += len(src)
 			if i == c.rank {
 				out[i] = data
 				continue
 			}
+			src := slots[i].([]T)
 			cp := make([]T, len(src))
 			copy(cp, src)
 			out[i] = cp
 		}
 	})
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: LogMsgs(c.Size())}))
 	return out
 }
 
@@ -107,26 +111,37 @@ func AllgatherConcat[T any](c *Comm, data []T) []T {
 func Gather[T any](c *Comm, root int, data []T) [][]T {
 	var out [][]T
 	total := 0
-	group := exchange(c, data, func(slots []any) {
-		for i := range slots {
-			total += len(slots[i].([]T))
+	pl := Payload{
+		V:    data,
+		Size: int64(len(data)),
+		Enc: func(dst int) []byte {
+			if dst != root {
+				return nil
+			}
+			return EncodeSlice(data)
+		},
+		Dec: func(src int, b []byte) any { return DecodeSlice[T](b) },
+	}
+	group := c.step(pl, func(slots []any, sizes []int64) {
+		for _, s := range sizes {
+			total += int(s)
 		}
 		if c.rank != root {
 			return
 		}
 		out = make([][]T, c.Size())
 		for i := range out {
-			src := slots[i].([]T)
 			if i == c.rank {
 				out[i] = data
 				continue
 			}
+			src := slots[i].([]T)
 			cp := make([]T, len(src))
 			copy(cp, src)
 			out[i] = cp
 		}
 	})
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: LogMsgs(c.Size())}))
 	return out
 }
 
@@ -134,17 +149,34 @@ func Gather[T any](c *Comm, root int, data []T) [][]T {
 // parts[i]. Cost: xβ + ⌈log₂p⌉α with x the total scattered size.
 func Scatter[T any](c *Comm, root int, parts [][]T) []T {
 	var out []T
+	var mySize int64
+	for _, p := range parts {
+		mySize += int64(len(p))
+	}
+	pl := Payload{
+		V:    parts,
+		Size: mySize,
+		Dec: func(src int, b []byte) any {
+			// A network backend delivers only our own part; rebuild a
+			// sparse parts view so the read path is backend-agnostic.
+			sparse := make([][]T, c.Size())
+			sparse[c.rank] = DecodeSlice[T](b)
+			return sparse
+		},
+	}
+	if c.rank == root {
+		pl.Enc = func(dst int) []byte { return EncodeSlice(parts[dst]) }
+		pl.Dec = nil
+	}
 	total := 0
-	group := exchange(c, parts, func(slots []any) {
+	group := c.step(pl, func(slots []any, sizes []int64) {
+		total = int(sizes[root])
 		src := slots[root].([][]T)
-		for _, p := range src {
-			total += len(p)
-		}
 		mine := src[c.rank]
 		out = make([]T, len(mine))
 		copy(out, mine)
 	})
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: logMsgs(c.Size())}))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](total), Msgs: LogMsgs(c.Size())}))
 	return out
 }
 
@@ -152,7 +184,13 @@ func Scatter[T any](c *Comm, root int, parts [][]T) []T {
 // receives the result. Cost: 2xβ + 2⌈log₂p⌉α.
 func Allreduce[T any](c *Comm, data []T, op func(T, T) T) []T {
 	var out []T
-	group := exchange(c, data, func(slots []any) {
+	pl := Payload{
+		V:    data,
+		Size: int64(len(data)),
+		Enc:  func(int) []byte { return EncodeSlice(data) },
+		Dec:  func(src int, b []byte) any { return DecodeSlice[T](b) },
+	}
+	group := c.step(pl, func(slots []any, _ []int64) {
 		out = make([]T, len(data))
 		copy(out, data)
 		for i := 0; i < c.Size(); i++ {
@@ -168,8 +206,8 @@ func Allreduce[T any](c *Comm, data []T, op func(T, T) T) []T {
 	x := bytesOf[T](len(out))
 	c.proc.cost = group.Add(commCost(c.Size(), Cost{
 		Bytes: 2 * x,
-		Msgs:  2 * logMsgs(c.Size()),
-		Flops: int64(len(out)) * logMsgs(c.Size()),
+		Msgs:  2 * LogMsgs(c.Size()),
+		Flops: int64(len(out)) * LogMsgs(c.Size()),
 	}))
 	return out
 }
@@ -187,9 +225,20 @@ func AllreduceScalar[T any](c *Comm, v T, op func(T, T) T) T {
 func ReduceSlices[T any](c *Comm, root int, data []T, combine func(a, b []T) []T) []T {
 	var out []T
 	var inTotal int
-	group := exchange(c, data, func(slots []any) {
-		for i := range slots {
-			inTotal += len(slots[i].([]T))
+	pl := Payload{
+		V:    data,
+		Size: int64(len(data)),
+		Enc: func(dst int) []byte {
+			if dst != root {
+				return nil
+			}
+			return EncodeSlice(data)
+		},
+		Dec: func(src int, b []byte) any { return DecodeSlice[T](b) },
+	}
+	group := c.step(pl, func(slots []any, sizes []int64) {
+		for _, s := range sizes {
+			inTotal += int(s)
 		}
 		if c.rank != root {
 			return
@@ -222,7 +271,7 @@ func ReduceSlices[T any](c *Comm, root int, data []T, combine func(a, b []T) []T
 	}
 	c.proc.cost = group.Add(commCost(c.Size(), Cost{
 		Bytes: 2 * outBytes,
-		Msgs:  2 * logMsgs(c.Size()),
+		Msgs:  2 * LogMsgs(c.Size()),
 		Flops: int64(inTotal),
 	}))
 	return out
@@ -233,15 +282,26 @@ func ReduceSlices[T any](c *Comm, root int, data []T, combine func(a, b []T) []T
 // it sent here. Cost per member: max(sent, received)·β + ⌈log₂p⌉α.
 func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 	if len(parts) != c.Size() {
-		c.state.machine.fail(errAlltoallShape{len(parts), c.Size()})
-		panic(abortError{reason: "alltoall parts/size mismatch"})
+		c.proc.Fail(errAlltoallShape{len(parts), c.Size()})
+		Abort("alltoall parts/size mismatch")
+	}
+	sent := 0
+	for _, p := range parts {
+		sent += len(p)
 	}
 	out := make([][]T, c.Size())
-	sent, recv := 0, 0
-	group := exchange(c, parts, func(slots []any) {
-		for _, p := range parts {
-			sent += len(p)
-		}
+	recv := 0
+	pl := Payload{
+		V:    parts,
+		Size: int64(sent),
+		Enc:  func(dst int) []byte { return EncodeSlice(parts[dst]) },
+		Dec: func(src int, b []byte) any {
+			sparse := make([][]T, c.Size())
+			sparse[c.rank] = DecodeSlice[T](b)
+			return sparse
+		},
+	}
+	group := c.step(pl, func(slots []any, _ []int64) {
 		for i := 0; i < c.Size(); i++ {
 			src := slots[i].([][]T)[c.rank]
 			recv += len(src)
@@ -258,7 +318,7 @@ func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 	if recv > x {
 		x = recv
 	}
-	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](x), Msgs: logMsgs(c.Size())}))
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: bytesOf[T](x), Msgs: LogMsgs(c.Size())}))
 	return out
 }
 
@@ -283,21 +343,36 @@ func (e errAlltoallShape) Error() string {
 	return "machine: alltoall called with wrong number of parts"
 }
 
+// sendRecvMsg is the addressed point-to-point envelope of SendRecv.
+type sendRecvMsg[T any] struct {
+	to   int
+	data []T
+}
+
 // SendRecv performs a simultaneous point-to-point exchange: every member
 // names a destination and a source (a permutation, e.g. a Cannon shift) and
 // receives the data the source addressed to it. Cost: α + β·bytes received,
 // the point-to-point term of Cannon's algorithm (§5.2.2).
 func SendRecv[T any](c *Comm, dst, src int, data []T) []T {
-	type addressed struct {
-		to   int
-		data []T
-	}
 	var out []T
-	group := exchange(c, addressed{to: dst, data: data}, func(slots []any) {
-		msg := slots[src].(addressed)
-		if msg.to != c.rank {
-			c.state.machine.fail(errPointToPoint{from: src, want: c.rank, got: msg.to})
-			panic(abortError{reason: "mismatched send/recv pairing"})
+	pl := Payload{
+		V:    sendRecvMsg[T]{to: dst, data: data},
+		Size: int64(len(data)),
+		Enc: func(d int) []byte {
+			if d != dst {
+				return nil
+			}
+			return EncodeSlice(data)
+		},
+		Dec: func(s int, b []byte) any {
+			return sendRecvMsg[T]{to: c.rank, data: DecodeSlice[T](b)}
+		},
+	}
+	group := c.step(pl, func(slots []any, _ []int64) {
+		msg, ok := slots[src].(sendRecvMsg[T])
+		if !ok || msg.to != c.rank {
+			c.proc.Fail(errPointToPoint{from: src, want: c.rank})
+			Abort("mismatched send/recv pairing")
 		}
 		out = make([]T, len(msg.data))
 		copy(out, msg.data)
@@ -310,34 +385,35 @@ func SendRecv[T any](c *Comm, dst, src int, data []T) []T {
 	return out
 }
 
-type errPointToPoint struct{ from, want, got int }
+type errPointToPoint struct{ from, want int }
 
 func (e errPointToPoint) Error() string {
 	return "machine: sendrecv pairing mismatch"
 }
 
+// splitInfo is the bookkeeping triple Split exchanges (24 wire bytes).
+type splitInfo struct{ Color, Key, Rank int }
+
 // Split partitions the communicator by color, MPI_Comm_split style: members
 // with equal color form a new communicator, ranked by (key, old rank). The
-// bookkeeping exchange is charged as a small allgather.
+// bookkeeping exchange is charged as a small allgather; the backend derives
+// the subgroup state from the agreed member list.
 func Split(c *Comm, color, key int) *Comm {
-	type info struct{ Color, Key, Rank int }
-	st := c.state
-	// Phase 1: share (color, key).
-	mine := info{Color: color, Key: key, Rank: c.rank}
-	st.slots[c.rank] = mine
-	st.costs[c.rank] = c.proc.cost
-	st.bar.await()
-	all := make([]info, st.size)
-	for i := range all {
-		all[i] = st.slots[i].(info)
+	mine := splitInfo{Color: color, Key: key, Rank: c.rank}
+	all := make([]splitInfo, c.Size())
+	pl := Payload{
+		V:    mine,
+		Size: 1,
+		Enc:  func(int) []byte { return EncodeSlice([]splitInfo{mine}) },
+		Dec:  func(src int, b []byte) any { return DecodeSlice[splitInfo](b)[0] },
 	}
-	group := Cost{}
-	for _, pc := range st.costs {
-		group = group.Max(pc)
-	}
-	st.bar.await()
+	group := c.step(pl, func(slots []any, _ []int64) {
+		for i := range all {
+			all[i] = slots[i].(splitInfo)
+		}
+	})
 	// Everyone derives the same grouping.
-	var members []info
+	var members []splitInfo
 	for _, in := range all {
 		if in.Color == color {
 			members = append(members, in)
@@ -349,20 +425,15 @@ func Split(c *Comm, color, key int) *Comm {
 		}
 		return members[a].Rank < members[b].Rank
 	})
+	memberRanks := make([]int, len(members))
 	newRank := 0
 	for i, in := range members {
+		memberRanks[i] = in.Rank
 		if in.Rank == c.rank {
 			newRank = i
 		}
 	}
-	leader := members[0].Rank
-	// Phase 2: the leader allocates shared state; members pick it up.
-	if c.rank == leader {
-		st.aux[c.rank] = newCommState(st.machine, len(members))
-	}
-	st.bar.await()
-	newState := st.aux[leader].(*commState)
-	st.bar.await()
-	c.proc.cost = group.Add(commCost(st.size, Cost{Bytes: int64(24 * st.size), Msgs: logMsgs(st.size)}))
-	return &Comm{state: newState, rank: newRank, proc: c.proc}
+	c.proc.cost = group.Add(commCost(c.Size(), Cost{Bytes: int64(24 * c.Size()), Msgs: LogMsgs(c.Size())}))
+	sub := c.group.Subgroup(c.proc, c.rank, memberRanks, newRank)
+	return &Comm{group: sub, rank: newRank, proc: c.proc}
 }

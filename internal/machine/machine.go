@@ -1,8 +1,15 @@
-// Package machine simulates the distributed-memory machine of the paper on
-// shared memory: p virtual processors run as goroutines and communicate
-// exclusively through bulk-synchronous collectives (broadcast, reduce,
-// allreduce, gather, allgather, scatter, all-to-all, and sparse reductions),
-// the same collective set the paper's §5.1 cost model covers.
+// Package machine defines the distributed-memory machine abstraction of
+// the paper: p processors communicating exclusively through
+// bulk-synchronous collectives (broadcast, reduce, allreduce, gather,
+// allgather, scatter, all-to-all, and sparse reductions), the same
+// collective set the paper's §5.1 cost model covers.
+//
+// The package itself is backend-neutral: the collectives are written
+// against the Group interface (one BSP superstep per collective), and a
+// Transport runs SPMD regions over some concrete backend. Two backends
+// exist: machine/sim simulates all p ranks as goroutines inside one
+// process (modeled cost only), and machine/tcpnet runs rank-per-process
+// over real TCP sockets (modeled cost plus measured wall clock).
 //
 // Every collective moves real data (callers never alias each other's
 // buffers) and charges an α–β model cost to each participant's critical
@@ -16,8 +23,6 @@ package machine
 import (
 	"fmt"
 	"math"
-	"runtime/debug"
-	"sync"
 	"time"
 )
 
@@ -83,39 +88,95 @@ func (c Cost) String() string {
 	return fmt.Sprintf("{bytes=%d msgs=%d flops=%d}", c.Bytes, c.Msgs, c.Flops)
 }
 
-// Machine is a simulated distributed machine of P processors.
-type Machine struct {
-	P       int
-	Model   CostModel
-	Timeout time.Duration // per-barrier watchdog; 0 disables
-
-	abortOnce sync.Once
-	abort     chan struct{}
-	failMu    sync.Mutex
-	failErr   error
+// Transport is one concrete machine backend: it knows the world size,
+// owns the cost model and the collective watchdog timeout, and executes
+// SPMD regions. The simulated backend (machine/sim) runs fn on every rank
+// as a goroutine; the TCP backend (machine/tcpnet) runs fn only on the
+// ranks hosted by this OS process, synchronizing with its peers over
+// sockets. Either way the returned RunStats are identical on every
+// participating process.
+type Transport interface {
+	// Size returns the world size p.
+	Size() int
+	// Model returns the α–β–γ constants charged by this transport.
+	Model() CostModel
+	// SetModel replaces the cost model (before a region, not during).
+	SetModel(CostModel)
+	// SetTimeout replaces the per-collective watchdog; 0 disables.
+	SetTimeout(time.Duration)
+	// Run executes fn as one machine region and reports critical-path
+	// statistics. A panic or failure on any rank aborts the whole machine
+	// and is returned as an error on every process.
+	Run(fn func(p *Proc)) (RunStats, error)
 }
 
-// New creates a machine with p processors and the default cost model.
-func New(p int) *Machine {
-	if p < 1 {
-		panic("machine: need at least one processor")
-	}
-	return &Machine{P: p, Model: DefaultModel(), Timeout: 2 * time.Minute, abort: make(chan struct{})}
+// Payload is one rank's contribution to a collective superstep. The
+// simulated backend delivers V to peers directly (shared memory, zero
+// copies beyond what the collective itself makes); a network backend
+// instead calls Enc once per destination and Dec once per arrived frame.
+type Payload struct {
+	// V is the posted value, delivered verbatim into peer slot arrays by
+	// in-process backends.
+	V any
+	// Size is the element count posted (for nested [][]T posts, the total
+	// across parts). Backends expose every rank's Size to the read
+	// callback so charge formulas need no peer data.
+	Size int64
+	// Enc encodes the part of the payload destined for rank dst, or
+	// returns nil when dst needs no data from us (the frame then carries
+	// cost bookkeeping only). nil Enc means no rank needs our data.
+	Enc func(dst int) []byte
+	// Dec decodes a frame from rank src into the value placed in the
+	// receiver's slot array. Required whenever any peer's Enc may address
+	// this rank.
+	Dec func(src int, b []byte) any
 }
 
+// Group is one communicator's backend state: the set of ranks that move
+// through collective supersteps together. Comm wraps a Group with the
+// caller's rank; the collectives in this package are written against
+// Step, so any Group implementation gets the full collective set.
+type Group interface {
+	// Size returns the number of group members.
+	Size() int
+	// Step runs one BSP superstep: every member posts its contribution
+	// and its current critical-path cost, read consumes peer
+	// contributions (slots indexed by group rank; sizes holds every
+	// member's posted Payload.Size), and the returned Cost is the group
+	// maximum of the members' pre-step costs — the critical-path join of
+	// §7.4. The collective then assigns p's cost itself. Slot entries for
+	// ranks whose data was not addressed to this member may be nil on
+	// network backends; collectives only read the slots their charge
+	// formulas promise are present.
+	Step(p *Proc, rank int, post Payload, read func(slots []any, sizes []int64)) Cost
+	// Subgroup derives the communicator state for a Split: members holds
+	// the parent-group ranks of the new group in new-rank order, and
+	// myIdx is this member's position in it. Every member of the new
+	// group calls Subgroup with the identical members slice.
+	Subgroup(p *Proc, rank int, members []int, myIdx int) Group
+}
+
+// abortError marks the panic that unwinds ranks after a peer failure or
+// watchdog timeout, so backends can tell cooperative teardown from a real
+// region panic.
 type abortError struct{ reason string }
 
 func (e abortError) Error() string { return "machine: aborted: " + e.reason }
 
-// fail records the first failure and poisons every barrier so that all
-// processors unwind instead of deadlocking.
-func (m *Machine) fail(err error) {
-	m.failMu.Lock()
-	if m.failErr == nil {
-		m.failErr = err
+// Abort panics with the cooperative-teardown marker. Backends call it to
+// unwind a rank after recording the underlying failure via the Proc's
+// fail hook.
+func Abort(reason string) {
+	panic(abortError{reason: reason})
+}
+
+// AbortErr reports whether a recovered panic value is the cooperative
+// teardown marker, returning it as an error when so.
+func AbortErr(r any) (error, bool) {
+	if e, ok := r.(abortError); ok {
+		return e, true
 	}
-	m.failMu.Unlock()
-	m.abortOnce.Do(func() { close(m.abort) })
+	return nil, false
 }
 
 // RunStats aggregates a run's outcome.
@@ -144,6 +205,17 @@ type PhaseStats struct {
 	// walls do not sum to RunStats.Wall). It is observability-only: modeled
 	// cost never depends on it.
 	Wall time.Duration
+}
+
+// ProcSummary is one rank's contribution to a region's RunStats: its
+// final cost vector and closed phase buckets. It is flat and
+// gob-encodable so network backends can exchange summaries and build
+// identical RunStats on every process.
+type ProcSummary struct {
+	Cost      Cost
+	PhaseSeq  []string
+	PhaseCost []Cost
+	PhaseWall []time.Duration
 }
 
 // Phase attributes all cost accrued from this call until the next Phase
@@ -186,13 +258,26 @@ func (p *Proc) closePhase() {
 	p.phaseWall = append(p.phaseWall, wallSeg)
 }
 
+// Summary closes the open phase segment and returns the rank's region
+// summary. Backends call it once per hosted rank after the region body
+// returns.
+func (p *Proc) Summary() ProcSummary {
+	p.closePhase()
+	return ProcSummary{
+		Cost:      p.cost,
+		PhaseSeq:  p.phaseSeq,
+		PhaseCost: p.phaseCost,
+		PhaseWall: p.phaseWall,
+	}
+}
+
 // phaseStats merges the per-proc phase buckets into the run's breakdown:
 // names ordered by first declaration scanning ranks in order, costs joined
 // componentwise. Returns nil when no processor declared a phase.
-func phaseStats(m *Machine, procs []*Proc) []PhaseStats {
+func phaseStats(model CostModel, procs []ProcSummary) []PhaseStats {
 	named := false
 	for _, p := range procs {
-		if len(p.phaseSeq) > 1 || (len(p.phaseSeq) == 1 && p.phaseSeq[0] != "") {
+		if len(p.PhaseSeq) > 1 || (len(p.PhaseSeq) == 1 && p.PhaseSeq[0] != "") {
 			named = true
 			break
 		}
@@ -203,7 +288,7 @@ func phaseStats(m *Machine, procs []*Proc) []PhaseStats {
 	var order []string
 	index := make(map[string]int)
 	for _, p := range procs {
-		for _, n := range p.phaseSeq {
+		for _, n := range p.PhaseSeq {
 			if _, ok := index[n]; !ok {
 				index[n] = len(order)
 				order = append(order, n)
@@ -214,72 +299,45 @@ func phaseStats(m *Machine, procs []*Proc) []PhaseStats {
 	for i, n := range order {
 		ps := PhaseStats{Name: n, PerProc: make([]Cost, len(procs))}
 		for r, p := range procs {
-			for k, pn := range p.phaseSeq {
+			for k, pn := range p.PhaseSeq {
 				if pn == n {
-					ps.PerProc[r] = p.phaseCost[k]
-					ps.MaxCost = ps.MaxCost.Max(p.phaseCost[k])
-					if p.phaseWall[k] > ps.Wall {
-						ps.Wall = p.phaseWall[k]
+					ps.PerProc[r] = p.PhaseCost[k]
+					ps.MaxCost = ps.MaxCost.Max(p.PhaseCost[k])
+					if p.PhaseWall[k] > ps.Wall {
+						ps.Wall = p.PhaseWall[k]
 					}
 				}
 			}
 		}
-		ps.ModelSec = ps.MaxCost.Time(m.Model)
-		ps.CommSec = ps.MaxCost.CommTime(m.Model)
+		ps.ModelSec = ps.MaxCost.Time(model)
+		ps.CommSec = ps.MaxCost.CommTime(model)
 		out[i] = ps
 	}
 	return out
 }
 
-// Run executes fn on every processor concurrently and reports critical-path
-// statistics. A panic on any processor aborts the whole machine and is
-// returned as an error.
-func (m *Machine) Run(fn func(p *Proc)) (RunStats, error) {
-	world := newCommState(m, m.P)
-	procs := make([]*Proc, m.P)
-	var wg sync.WaitGroup
-	start := time.Now() //lint:allow detsource wall-clock run stat only; never feeds the cost model
-	for r := 0; r < m.P; r++ {
-		p := &Proc{rank: r, machine: m, phaseWallAt: start}
-		p.world = &Comm{state: world, rank: r, proc: p}
-		procs[r] = p
-		wg.Add(1)
-		go func(p *Proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if ab, ok := r.(abortError); ok {
-						m.fail(ab)
-						return
-					}
-					m.fail(fmt.Errorf("machine: proc %d panicked: %v\n%s", p.rank, r, debug.Stack()))
-				}
-			}()
-			fn(p)
-		}(p)
-	}
-	wg.Wait()
-	stats := RunStats{Wall: time.Since(start), PerProc: make([]Cost, m.P)}
+// BuildRunStats folds every rank's ProcSummary into the region's
+// RunStats. Deterministic in its inputs, so backends that exchange
+// summaries build bit-identical stats on every process.
+func BuildRunStats(model CostModel, procs []ProcSummary, wall time.Duration) RunStats {
+	stats := RunStats{Wall: wall, PerProc: make([]Cost, len(procs))}
 	for r, p := range procs {
-		p.closePhase()
-		stats.PerProc[r] = p.cost
-		stats.MaxCost = stats.MaxCost.Max(p.cost)
+		stats.PerProc[r] = p.Cost
+		stats.MaxCost = stats.MaxCost.Max(p.Cost)
 	}
-	stats.Phases = phaseStats(m, procs)
-	stats.ModelSec = stats.MaxCost.Time(m.Model)
-	stats.CommSec = stats.MaxCost.CommTime(m.Model)
-	m.failMu.Lock()
-	err := m.failErr
-	m.failMu.Unlock()
-	return stats, err
+	stats.Phases = phaseStats(model, procs)
+	stats.ModelSec = stats.MaxCost.Time(model)
+	stats.CommSec = stats.MaxCost.CommTime(model)
+	return stats
 }
 
-// Proc is one virtual processor's handle.
+// Proc is one processor's handle within a machine region.
 type Proc struct {
-	rank    int
-	machine *Machine
-	world   *Comm
-	cost    Cost
+	rank       int
+	localRanks int
+	world      *Comm
+	cost       Cost
+	fail       func(error)
 
 	// Phase-attribution bookkeeping: the open segment's name, the cost
 	// vector and wall instant at its start, plus the closed buckets in
@@ -292,14 +350,41 @@ type Proc struct {
 	phaseWall   []time.Duration
 }
 
+// NewProc constructs a rank handle for a backend: world is the
+// whole-machine Group, localRanks the number of ranks this OS process
+// hosts (sim: p, tcpnet: 1), fail the backend's first-failure hook, and
+// start the region's wall-clock origin for phase attribution.
+func NewProc(world Group, rank, localRanks int, fail func(error), start time.Time) *Proc {
+	p := &Proc{rank: rank, localRanks: localRanks, fail: fail, phaseWallAt: start}
+	p.world = &Comm{group: world, rank: rank, proc: p}
+	return p
+}
+
 // Rank returns the processor's world rank.
 func (p *Proc) Rank() int { return p.rank }
 
 // World returns the communicator spanning all processors.
 func (p *Proc) World() *Comm { return p.world }
 
-// Machine returns the owning machine.
-func (p *Proc) Machine() *Machine { return p.machine }
+// LocalRanks returns how many ranks of this machine live in the current
+// OS process — the divisor for splitting host cores among rank-local
+// kernel workers (sim: the whole world shares the host; tcpnet: each
+// rank owns its process).
+func (p *Proc) LocalRanks() int {
+	if p.localRanks < 1 {
+		return 1
+	}
+	return p.localRanks
+}
+
+// Fail records err as the machine's failure through the backend hook,
+// poisoning every barrier so peers unwind instead of deadlocking. It does
+// not panic; callers follow with Abort.
+func (p *Proc) Fail(err error) {
+	if p.fail != nil {
+		p.fail(err)
+	}
+}
 
 // AddFlops charges local computation to the critical path.
 func (p *Proc) AddFlops(n int64) { p.cost.Flops += n }
@@ -309,9 +394,14 @@ func (p *Proc) Cost() Cost { return p.cost }
 
 // Comm is a communicator: one processor's view of a process group.
 type Comm struct {
-	state *commState
+	group Group
 	rank  int
 	proc  *Proc
+}
+
+// NewComm wraps backend group state as rank's communicator handle.
+func NewComm(g Group, rank int, p *Proc) *Comm {
+	return &Comm{group: g, rank: rank, proc: p}
 }
 
 // Rank returns this processor's rank within the communicator.
@@ -321,77 +411,10 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Proc() *Proc { return c.proc }
 
 // Size returns the number of group members.
-func (c *Comm) Size() int { return c.state.size }
+func (c *Comm) Size() int { return c.group.Size() }
 
-type commState struct {
-	machine *Machine
-	size    int
-	slots   []any
-	aux     []any
-	costs   []Cost
-	bar     *barrier
-}
-
-func newCommState(m *Machine, size int) *commState {
-	return &commState{
-		machine: m,
-		size:    size,
-		slots:   make([]any, size),
-		aux:     make([]any, size),
-		costs:   make([]Cost, size),
-		bar:     newBarrier(m, size),
-	}
-}
-
-// barrier is a reusable sense-reversing barrier with abort and watchdog
-// support, the synchronization backbone of every collective.
-type barrier struct {
-	machine *Machine
-	mu      sync.Mutex
-	n       int
-	count   int
-	gen     chan struct{}
-}
-
-func newBarrier(m *Machine, n int) *barrier {
-	return &barrier{machine: m, n: n, gen: make(chan struct{})}
-}
-
-func (b *barrier) await() {
-	b.mu.Lock()
-	ch := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen = make(chan struct{})
-		close(ch)
-		b.mu.Unlock()
-		return
-	}
-	b.mu.Unlock()
-	if b.machine.Timeout <= 0 {
-		select {
-		case <-ch:
-		case <-b.machine.abort:
-			panic(abortError{reason: "peer failure"})
-		}
-		return
-	}
-	timer := time.NewTimer(b.machine.Timeout)
-	defer timer.Stop()
-	select {
-	case <-ch:
-	case <-b.machine.abort:
-		panic(abortError{reason: "peer failure"})
-	case <-timer.C:
-		err := fmt.Errorf("machine: barrier timeout after %v (collective deadlock: mismatched collective calls across ranks?)", b.machine.Timeout)
-		b.machine.fail(err)
-		panic(abortError{reason: err.Error()})
-	}
-}
-
-// logMsgs is the ⌈log₂ p⌉ latency term of tree-based collectives.
-func logMsgs(p int) int64 {
+// LogMsgs is the ⌈log₂ p⌉ latency term of tree-based collectives.
+func LogMsgs(p int) int64 {
 	if p <= 1 {
 		return 0
 	}

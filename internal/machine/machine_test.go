@@ -1,53 +1,143 @@
-package machine
+// Conformance suite for machine backends: every collective, grid, phase,
+// and failure-handling test runs as a shared table against each
+// registered Transport implementation, and the modeled costs must be
+// identical across backends (the cost model is a property of the
+// collectives layer, not of the wire). Backends register themselves in
+// conformanceBackends; sim is always present, tcpnet joins from
+// tcpnet_backend_test.go via loopback sockets.
+package machine_test
 
 import (
-	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/machine"
+	"repro/internal/machine/sim"
 )
 
-func TestBcast(t *testing.T) {
-	for _, p := range []int{1, 2, 4, 7} {
-		m := New(p)
-		stats, err := m.Run(func(pr *Proc) {
-			var data []int
-			if pr.Rank() == 0 {
-				data = []int{10, 20, 30}
+type backendCase struct {
+	name string
+	make func(t testing.TB, p int) machine.Transport
+}
+
+var (
+	backendsMu          sync.Mutex
+	conformanceBackends = []backendCase{
+		{name: "sim", make: func(_ testing.TB, p int) machine.Transport { return sim.New(p) }},
+	}
+)
+
+func registerBackend(b backendCase) {
+	backendsMu.Lock()
+	defer backendsMu.Unlock()
+	conformanceBackends = append(conformanceBackends, b)
+}
+
+func listBackends() []backendCase {
+	backendsMu.Lock()
+	defer backendsMu.Unlock()
+	return append([]backendCase(nil), conformanceBackends...)
+}
+
+// forEachBackend runs the region on every registered backend and checks
+// that the modeled run statistics agree bit-for-bit across them.
+func forEachBackend(t *testing.T, p int, region func(pr *machine.Proc), check func(t *testing.T, stats machine.RunStats)) {
+	t.Helper()
+	var ref *machine.RunStats
+	var refName string
+	for _, b := range listBackends() {
+		t.Run(fmt.Sprintf("%s/p=%d", b.name, p), func(t *testing.T) {
+			tr := b.make(t, p)
+			stats, err := tr.Run(region)
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
 			}
-			got := Bcast(pr.World(), 0, data)
-			if len(got) != 3 || got[0] != 10 || got[2] != 30 {
-				panic(fmt.Sprintf("rank %d got %v", pr.Rank(), got))
+			if check != nil {
+				check(t, stats)
 			}
+			if ref == nil {
+				ref, refName = &stats, b.name
+				return
+			}
+			assertStatsEqual(t, refName, *ref, b.name, stats)
 		})
-		if err != nil {
-			t.Fatalf("p=%d: %v", p, err)
+	}
+}
+
+// assertStatsEqual pins the cross-backend invariant: modeled cost, its
+// per-proc decomposition, and the phase breakdown must not depend on the
+// backend. Wall-clock fields are backend-specific and excluded.
+func assertStatsEqual(t *testing.T, an string, a machine.RunStats, bn string, b machine.RunStats) {
+	t.Helper()
+	if a.MaxCost != b.MaxCost {
+		t.Fatalf("MaxCost differs: %s=%v %s=%v", an, a.MaxCost, bn, b.MaxCost)
+	}
+	if a.ModelSec != b.ModelSec || a.CommSec != b.CommSec {
+		t.Fatalf("modeled seconds differ: %s=(%g,%g) %s=(%g,%g)", an, a.ModelSec, a.CommSec, bn, b.ModelSec, b.CommSec)
+	}
+	if len(a.PerProc) != len(b.PerProc) {
+		t.Fatalf("PerProc length differs: %d vs %d", len(a.PerProc), len(b.PerProc))
+	}
+	for r := range a.PerProc {
+		if a.PerProc[r] != b.PerProc[r] {
+			t.Fatalf("rank %d cost differs: %s=%v %s=%v", r, an, a.PerProc[r], bn, b.PerProc[r])
 		}
-		wantBytes := int64(2 * 3 * 8)
-		if p == 1 {
-			wantBytes = 0 // self-communication is free
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase count differs: %d vs %d", len(a.Phases), len(b.Phases))
+	}
+	for i := range a.Phases {
+		pa, pb := a.Phases[i], b.Phases[i]
+		if pa.Name != pb.Name || pa.MaxCost != pb.MaxCost {
+			t.Fatalf("phase %d differs: %s={%q %v} %s={%q %v}", i, an, pa.Name, pa.MaxCost, bn, pb.Name, pb.MaxCost)
 		}
-		if stats.MaxCost.Bytes != wantBytes {
-			t.Fatalf("p=%d: bcast charged %d bytes, want %d", p, stats.MaxCost.Bytes, wantBytes)
-		}
-		if p > 1 && stats.MaxCost.Msgs != 2*logMsgs(p) {
-			t.Fatalf("p=%d: bcast charged %d msgs, want %d", p, stats.MaxCost.Msgs, 2*logMsgs(p))
+		for r := range pa.PerProc {
+			if pa.PerProc[r] != pb.PerProc[r] {
+				t.Fatalf("phase %q rank %d cost differs", pa.Name, r)
+			}
 		}
 	}
 }
 
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		forEachBackend(t, p, func(pr *machine.Proc) {
+			var data []int
+			if pr.Rank() == 0 {
+				data = []int{10, 20, 30}
+			}
+			got := machine.Bcast(pr.World(), 0, data)
+			if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+				panic(fmt.Sprintf("rank %d got %v", pr.Rank(), got))
+			}
+		}, func(t *testing.T, stats machine.RunStats) {
+			wantBytes := int64(2 * 3 * 8)
+			if p == 1 {
+				wantBytes = 0 // self-communication is free
+			}
+			if stats.MaxCost.Bytes != wantBytes {
+				t.Fatalf("p=%d: bcast charged %d bytes, want %d", p, stats.MaxCost.Bytes, wantBytes)
+			}
+			if p > 1 && stats.MaxCost.Msgs != 2*machine.LogMsgs(p) {
+				t.Fatalf("p=%d: bcast charged %d msgs, want %d", p, stats.MaxCost.Msgs, 2*machine.LogMsgs(p))
+			}
+		})
+	}
+}
+
 func TestAllgatherAndGather(t *testing.T) {
-	m := New(5)
-	_, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 5, func(pr *machine.Proc) {
 		data := []int{pr.Rank(), pr.Rank() * 10}
-		all := Allgather(pr.World(), data)
+		all := machine.Allgather(pr.World(), data)
 		for i, part := range all {
 			if part[0] != i || part[1] != i*10 {
 				panic("allgather wrong content")
 			}
 		}
-		root := Gather(pr.World(), 2, data)
+		root := machine.Gather(pr.World(), 2, data)
 		if pr.Rank() == 2 {
 			if len(root) != 5 || root[4][1] != 40 {
 				panic("gather wrong content at root")
@@ -55,20 +145,16 @@ func TestAllgatherAndGather(t *testing.T) {
 		} else if root != nil {
 			panic("gather leaked data to non-root")
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
 }
 
 func TestAllreduce(t *testing.T) {
-	m := New(6)
-	_, err := m.Run(func(pr *Proc) {
-		v := Allreduce(pr.World(), []float64{float64(pr.Rank()), 1}, func(a, b float64) float64 { return a + b })
+	forEachBackend(t, 6, func(pr *machine.Proc) {
+		v := machine.Allreduce(pr.World(), []float64{float64(pr.Rank()), 1}, func(a, b float64) float64 { return a + b })
 		if v[0] != 15 || v[1] != 6 {
 			panic(fmt.Sprintf("allreduce got %v", v))
 		}
-		s := AllreduceScalar(pr.World(), pr.Rank(), func(a, b int) int {
+		s := machine.AllreduceScalar(pr.World(), pr.Rank(), func(a, b int) int {
 			if a > b {
 				return a
 			}
@@ -77,20 +163,16 @@ func TestAllreduce(t *testing.T) {
 		if s != 5 {
 			panic("allreduce max wrong")
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
 }
 
 func TestScatter(t *testing.T) {
-	m := New(3)
-	_, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 3, func(pr *machine.Proc) {
 		var parts [][]int
 		if pr.Rank() == 1 {
 			parts = [][]int{{0}, {1, 1}, {2, 2, 2}}
 		}
-		got := Scatter(pr.World(), 1, parts)
+		got := machine.Scatter(pr.World(), 1, parts)
 		if len(got) != pr.Rank()+1 {
 			panic("scatter wrong size")
 		}
@@ -99,29 +181,22 @@ func TestScatter(t *testing.T) {
 				panic("scatter wrong content")
 			}
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
 }
 
 func TestAlltoall(t *testing.T) {
-	m := New(4)
-	_, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 4, func(pr *machine.Proc) {
 		parts := make([][]int, 4)
 		for j := range parts {
 			parts[j] = []int{pr.Rank()*10 + j}
 		}
-		got := Alltoall(pr.World(), parts)
+		got := machine.Alltoall(pr.World(), parts)
 		for i, part := range got {
 			if len(part) != 1 || part[0] != i*10+pr.Rank() {
 				panic(fmt.Sprintf("alltoall rank %d from %d: %v", pr.Rank(), i, part))
 			}
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
 }
 
 func TestReduceSlices(t *testing.T) {
@@ -130,10 +205,9 @@ func TestReduceSlices(t *testing.T) {
 		sort.Ints(out)
 		return out
 	}
-	m := New(4)
-	_, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 4, func(pr *machine.Proc) {
 		data := []int{pr.Rank(), pr.Rank() + 100}
-		got := ReduceSlices(pr.World(), 0, data, merge)
+		got := machine.ReduceSlices(pr.World(), 0, data, merge)
 		if pr.Rank() == 0 {
 			want := []int{0, 1, 2, 3, 100, 101, 102, 103}
 			if len(got) != len(want) {
@@ -145,16 +219,12 @@ func TestReduceSlices(t *testing.T) {
 				}
 			}
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
 }
 
 func TestSplitAndGrids(t *testing.T) {
-	m := New(12)
-	_, err := m.Run(func(pr *Proc) {
-		g := NewGrid2(pr.World(), 3, 4)
+	forEachBackend(t, 12, func(pr *machine.Proc) {
+		g := machine.NewGrid2(pr.World(), 3, 4)
 		if g.Row.Size() != 4 || g.Col.Size() != 3 {
 			panic("grid2 comm sizes wrong")
 		}
@@ -162,7 +232,7 @@ func TestSplitAndGrids(t *testing.T) {
 			panic("grid2 sub-ranks wrong")
 		}
 		// Row-wise sum of ranks must equal the row's world-rank sum.
-		sum := AllreduceScalar(g.Row, pr.Rank(), func(a, b int) int { return a + b })
+		sum := machine.AllreduceScalar(g.Row, pr.Rank(), func(a, b int) int { return a + b })
 		want := 0
 		for j := 0; j < 4; j++ {
 			want += g.RankAt(g.MyR, j)
@@ -171,267 +241,184 @@ func TestSplitAndGrids(t *testing.T) {
 			panic("row communicator grouped wrong members")
 		}
 
-		g3 := NewGrid3(pr.World(), 3, 2, 2)
+		g3 := machine.NewGrid3(pr.World(), 3, 2, 2)
 		if g3.Layer.Size() != 4 || g3.Fiber.Size() != 3 {
 			panic("grid3 comm sizes wrong")
 		}
-		lsum := AllreduceScalar(g3.Fiber, g3.MyLayer, func(a, b int) int { return a + b })
+		lsum := machine.AllreduceScalar(g3.Fiber, g3.MyLayer, func(a, b int) int { return a + b })
 		if lsum != 0+1+2 {
 			panic("fiber communicator grouped wrong members")
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	}, nil)
+}
+
+func TestSendRecvRing(t *testing.T) {
+	forEachBackend(t, 5, func(pr *machine.Proc) {
+		right := (pr.Rank() + 1) % 5
+		left := (pr.Rank() + 4) % 5
+		got := machine.SendRecv(pr.World(), right, left, []int{pr.Rank()})
+		if len(got) != 1 || got[0] != left {
+			panic("ring shift delivered wrong data")
+		}
+	}, nil)
 }
 
 func TestCriticalPathMax(t *testing.T) {
 	// One processor does extra flops; after a barrier everyone's critical
 	// path must include them.
-	m := New(4)
-	stats, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 4, func(pr *machine.Proc) {
 		if pr.Rank() == 2 {
 			pr.AddFlops(1000)
 		}
-		Barrier(pr.World())
+		machine.Barrier(pr.World())
 		if pr.Cost().Flops < 1000 {
 			panic("critical path did not absorb the slow rank")
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats.MaxCost.Flops < 1000 {
-		t.Fatal("run stats lost flops")
-	}
-}
-
-func TestPanicPropagation(t *testing.T) {
-	m := New(4)
-	_, err := m.Run(func(pr *Proc) {
-		if pr.Rank() == 3 {
-			panic("injected failure")
-		}
-		// Other ranks wait on a collective; the abort must free them.
-		Barrier(pr.World())
-	})
-	if err == nil {
-		t.Fatal("expected the injected panic to surface")
-	}
-}
-
-func TestDeadlockWatchdog(t *testing.T) {
-	m := New(2)
-	m.Timeout = 50 * time.Millisecond
-	_, err := m.Run(func(pr *Proc) {
-		if pr.Rank() == 0 {
-			Barrier(pr.World()) // rank 1 never shows up: mismatched collective
+	}, func(t *testing.T, stats machine.RunStats) {
+		if stats.MaxCost.Flops < 1000 {
+			t.Fatal("run stats lost flops")
 		}
 	})
-	if err == nil {
-		t.Fatal("expected watchdog to flag the deadlock")
-	}
-	var ab abortError
-	if !errors.As(err, &ab) && err == nil {
-		t.Fatal("unexpected error type")
-	}
-}
-
-func TestFactorizations(t *testing.T) {
-	f3 := Factorizations3(12)
-	seen := map[[3]int]bool{}
-	for _, f := range f3 {
-		if f[0]*f[1]*f[2] != 12 {
-			t.Fatalf("bad factorization %v", f)
-		}
-		if seen[f] {
-			t.Fatalf("duplicate factorization %v", f)
-		}
-		seen[f] = true
-	}
-	if !seen[[3]int{1, 3, 4}] || !seen[[3]int{12, 1, 1}] {
-		t.Fatal("missing expected factorizations")
-	}
-	if got := len(Factorizations2(16)); got != 5 {
-		t.Fatalf("Factorizations2(16) = %d, want 5", got)
-	}
-	if LCM(4, 6) != 12 || GCD(12, 18) != 6 {
-		t.Fatal("lcm/gcd wrong")
-	}
 }
 
 func TestSingleProcDegenerate(t *testing.T) {
-	m := New(1)
-	_, err := m.Run(func(pr *Proc) {
-		if got := Bcast(pr.World(), 0, []int{7}); got[0] != 7 {
+	forEachBackend(t, 1, func(pr *machine.Proc) {
+		if got := machine.Bcast(pr.World(), 0, []int{7}); got[0] != 7 {
 			panic("p=1 bcast")
 		}
-		if got := AllgatherConcat(pr.World(), []int{1, 2}); len(got) != 2 {
+		if got := machine.AllgatherConcat(pr.World(), []int{1, 2}); len(got) != 2 {
 			panic("p=1 allgather")
 		}
-		if got := AlltoallConcat(pr.World(), [][]int{{9}}); got[0] != 9 {
+		if got := machine.AlltoallConcat(pr.World(), [][]int{{9}}); got[0] != 9 {
 			panic("p=1 alltoall")
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestCalibrateModel(t *testing.T) {
-	if raceEnabled {
-		t.Skip("flop-rate calibration bounds are meaningless under race instrumentation")
-	}
-	base := DefaultModel()
-	tuned := CalibrateModel(base)
-	if tuned.Alpha != base.Alpha || tuned.Beta != base.Beta {
-		t.Fatal("calibration must not touch the interconnect constants")
-	}
-	if tuned.Gamma <= 0 || tuned.Gamma > 1e-6 {
-		t.Fatalf("implausible fitted gamma %g", tuned.Gamma)
-	}
-	// The fit must be stable within an order of magnitude across runs.
-	again := CalibrateModel(base)
-	ratio := tuned.Gamma / again.Gamma
-	if ratio < 0.1 || ratio > 10 {
-		t.Fatalf("unstable calibration: %g vs %g", tuned.Gamma, again.Gamma)
-	}
-}
-
-func TestSendRecvRing(t *testing.T) {
-	m := New(5)
-	_, err := m.Run(func(pr *Proc) {
-		right := (pr.Rank() + 1) % 5
-		left := (pr.Rank() + 4) % 5
-		got := SendRecv(pr.World(), right, left, []int{pr.Rank()})
-		if len(got) != 1 || got[0] != left {
-			panic("ring shift delivered wrong data")
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestCostTimeConversions(t *testing.T) {
-	model := CostModel{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9}
-	c := Cost{Bytes: 1000, Msgs: 10, Flops: 500}
-	wantComm := 10*1e-6 + 1000*1e-9
-	if got := c.CommTime(model); got != wantComm {
-		t.Fatalf("comm time %g want %g", got, wantComm)
-	}
-	if got := c.Time(model); got != wantComm+500*1e-9 {
-		t.Fatalf("total time %g", got)
-	}
-	a := Cost{Bytes: 5, Msgs: 20, Flops: 1}
-	mx := c.Max(a)
-	if mx.Bytes != 1000 || mx.Msgs != 20 || mx.Flops != 500 {
-		t.Fatalf("max wrong: %v", mx)
-	}
-	if c.Add(a).Bytes != 1005 {
-		t.Fatal("add wrong")
-	}
+	}, nil)
 }
 
 func TestRunPhaseAttribution(t *testing.T) {
-	m := New(4)
-	stats, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 4, func(pr *machine.Proc) {
 		pr.Phase("stage")
-		Bcast(pr.World(), 0, []int{1, 2, 3})
+		machine.Bcast(pr.World(), 0, []int{1, 2, 3})
 		pr.AddFlops(100)
 		pr.Phase("sweep")
-		Allreduce(pr.World(), []float64{1, 2}, func(a, b float64) float64 { return a + b })
+		machine.Allreduce(pr.World(), []float64{1, 2}, func(a, b float64) float64 { return a + b })
 		pr.Phase("stage") // re-entering accumulates into the same bucket
 		pr.AddFlops(50)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(stats.Phases) != 2 {
-		t.Fatalf("want 2 phases, got %+v", stats.Phases)
-	}
-	if stats.Phases[0].Name != "stage" || stats.Phases[1].Name != "sweep" {
-		t.Fatalf("phase order wrong: %q, %q", stats.Phases[0].Name, stats.Phases[1].Name)
-	}
-	// Per processor, phase costs must sum exactly to the run total.
-	for r, total := range stats.PerProc {
-		var sum Cost
+	}, func(t *testing.T, stats machine.RunStats) {
+		if len(stats.Phases) != 2 {
+			t.Fatalf("want 2 phases, got %+v", stats.Phases)
+		}
+		if stats.Phases[0].Name != "stage" || stats.Phases[1].Name != "sweep" {
+			t.Fatalf("phase order wrong: %q, %q", stats.Phases[0].Name, stats.Phases[1].Name)
+		}
+		// Per processor, phase costs must sum exactly to the run total.
+		for r, total := range stats.PerProc {
+			var sum machine.Cost
+			for _, ph := range stats.Phases {
+				sum = sum.Add(ph.PerProc[r])
+			}
+			if sum != total {
+				t.Fatalf("rank %d: phase sum %v != total %v", r, sum, total)
+			}
+		}
+		// This workload is symmetric, so the phase maxima also sum to the run
+		// maximum (the same processor is critical in every phase).
+		var sum machine.Cost
 		for _, ph := range stats.Phases {
-			sum = sum.Add(ph.PerProc[r])
+			sum = sum.Add(ph.MaxCost)
 		}
-		if sum != total {
-			t.Fatalf("rank %d: phase sum %v != total %v", r, sum, total)
+		if sum != stats.MaxCost {
+			t.Fatalf("phase max sum %v != run max %v", sum, stats.MaxCost)
 		}
-	}
-	// This workload is symmetric, so the phase maxima also sum to the run
-	// maximum (the same processor is critical in every phase).
-	var sum Cost
-	for _, ph := range stats.Phases {
-		sum = sum.Add(ph.MaxCost)
-	}
-	if sum != stats.MaxCost {
-		t.Fatalf("phase max sum %v != run max %v", sum, stats.MaxCost)
-	}
-	if stats.Phases[0].PerProc[0].Flops != 150 {
-		t.Fatalf("re-entered phase must accumulate: got %d flops", stats.Phases[0].PerProc[0].Flops)
-	}
-	if stats.Phases[0].MaxCost.Msgs == 0 || stats.Phases[1].MaxCost.Msgs == 0 {
-		t.Fatal("both phases moved data; msgs must be attributed to each")
-	}
+		if stats.Phases[0].PerProc[0].Flops != 150 {
+			t.Fatalf("re-entered phase must accumulate: got %d flops", stats.Phases[0].PerProc[0].Flops)
+		}
+		if stats.Phases[0].MaxCost.Msgs == 0 || stats.Phases[1].MaxCost.Msgs == 0 {
+			t.Fatal("both phases moved data; msgs must be attributed to each")
+		}
+	})
 }
 
 func TestRunPhaseWallClock(t *testing.T) {
-	m := New(2)
-	stats, err := m.Run(func(pr *Proc) {
+	forEachBackend(t, 2, func(pr *machine.Proc) {
 		pr.Phase("stage")
 		time.Sleep(2 * time.Millisecond)
 		pr.Phase("sweep")
 		time.Sleep(1 * time.Millisecond)
+	}, func(t *testing.T, stats machine.RunStats) {
+		if len(stats.Phases) != 2 {
+			t.Fatalf("want 2 phases, got %+v", stats.Phases)
+		}
+		for _, ph := range stats.Phases {
+			if ph.Wall <= 0 {
+				t.Errorf("phase %q wall = %v, want > 0", ph.Name, ph.Wall)
+			}
+			if ph.Wall > stats.Wall {
+				t.Errorf("phase %q wall %v exceeds region wall %v", ph.Name, ph.Wall, stats.Wall)
+			}
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(stats.Phases) != 2 {
-		t.Fatalf("want 2 phases, got %+v", stats.Phases)
-	}
-	for _, ph := range stats.Phases {
-		if ph.Wall <= 0 {
-			t.Errorf("phase %q wall = %v, want > 0", ph.Name, ph.Wall)
-		}
-		if ph.Wall > stats.Wall {
-			t.Errorf("phase %q wall %v exceeds region wall %v", ph.Name, ph.Wall, stats.Wall)
-		}
-	}
 }
 
 func TestRunWithoutPhasesReportsNone(t *testing.T) {
-	m := New(2)
-	stats, err := m.Run(func(pr *Proc) {
-		Barrier(pr.World())
+	forEachBackend(t, 2, func(pr *machine.Proc) {
+		machine.Barrier(pr.World())
+	}, func(t *testing.T, stats machine.RunStats) {
+		if stats.Phases != nil {
+			t.Fatalf("no Phase calls must mean no breakdown, got %+v", stats.Phases)
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats.Phases != nil {
-		t.Fatalf("no Phase calls must mean no breakdown, got %+v", stats.Phases)
-	}
 }
 
 func TestRunPhasePrelude(t *testing.T) {
 	// Cost accrued before the first Phase call lands in the "" bucket.
-	m := New(2)
-	stats, err := m.Run(func(pr *Proc) {
-		Barrier(pr.World())
+	forEachBackend(t, 2, func(pr *machine.Proc) {
+		machine.Barrier(pr.World())
 		pr.Phase("late")
 		pr.AddFlops(7)
+	}, func(t *testing.T, stats machine.RunStats) {
+		if len(stats.Phases) != 2 || stats.Phases[0].Name != "" || stats.Phases[1].Name != "late" {
+			t.Fatalf("want [\"\", late], got %+v", stats.Phases)
+		}
+		if stats.Phases[1].MaxCost.Flops != 7 {
+			t.Fatalf("late phase flops = %d, want 7", stats.Phases[1].MaxCost.Flops)
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
+}
+
+// TestPanicPropagation and TestDeadlockWatchdog exercise failure paths,
+// which every backend must surface as a run error on every rank.
+func TestPanicPropagation(t *testing.T) {
+	for _, b := range listBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			tr := b.make(t, 4)
+			_, err := tr.Run(func(pr *machine.Proc) {
+				if pr.Rank() == 3 {
+					panic("injected failure")
+				}
+				// Other ranks wait on a collective; the abort must free them.
+				machine.Barrier(pr.World())
+			})
+			if err == nil {
+				t.Fatal("expected the injected panic to surface")
+			}
+		})
 	}
-	if len(stats.Phases) != 2 || stats.Phases[0].Name != "" || stats.Phases[1].Name != "late" {
-		t.Fatalf("want [\"\", late], got %+v", stats.Phases)
-	}
-	if stats.Phases[1].MaxCost.Flops != 7 {
-		t.Fatalf("late phase flops = %d, want 7", stats.Phases[1].MaxCost.Flops)
+}
+
+func TestDeadlockWatchdog(t *testing.T) {
+	for _, b := range listBackends() {
+		t.Run(b.name, func(t *testing.T) {
+			tr := b.make(t, 2)
+			tr.SetTimeout(50 * time.Millisecond)
+			_, err := tr.Run(func(pr *machine.Proc) {
+				if pr.Rank() == 0 {
+					machine.Barrier(pr.World()) // rank 1 never shows up: mismatched collective
+				}
+			})
+			if err == nil {
+				t.Fatal("expected watchdog to flag the deadlock")
+			}
+		})
 	}
 }

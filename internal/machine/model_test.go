@@ -1,0 +1,66 @@
+package machine
+
+import "testing"
+
+func TestFactorizations(t *testing.T) {
+	f3 := Factorizations3(12)
+	seen := map[[3]int]bool{}
+	for _, f := range f3 {
+		if f[0]*f[1]*f[2] != 12 {
+			t.Fatalf("bad factorization %v", f)
+		}
+		if seen[f] {
+			t.Fatalf("duplicate factorization %v", f)
+		}
+		seen[f] = true
+	}
+	if !seen[[3]int{1, 3, 4}] || !seen[[3]int{12, 1, 1}] {
+		t.Fatal("missing expected factorizations")
+	}
+	if got := len(Factorizations2(16)); got != 5 {
+		t.Fatalf("Factorizations2(16) = %d, want 5", got)
+	}
+	if LCM(4, 6) != 12 || GCD(12, 18) != 6 {
+		t.Fatal("lcm/gcd wrong")
+	}
+}
+
+func TestCalibrateModel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("flop-rate calibration bounds are meaningless under race instrumentation")
+	}
+	base := DefaultModel()
+	tuned := CalibrateModel(base)
+	if tuned.Alpha != base.Alpha || tuned.Beta != base.Beta {
+		t.Fatal("calibration must not touch the interconnect constants")
+	}
+	if tuned.Gamma <= 0 || tuned.Gamma > 1e-6 {
+		t.Fatalf("implausible fitted gamma %g", tuned.Gamma)
+	}
+	// The fit must be stable within an order of magnitude across runs.
+	again := CalibrateModel(base)
+	ratio := tuned.Gamma / again.Gamma
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("unstable calibration: %g vs %g", tuned.Gamma, again.Gamma)
+	}
+}
+
+func TestCostTimeConversions(t *testing.T) {
+	model := CostModel{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-9}
+	c := Cost{Bytes: 1000, Msgs: 10, Flops: 500}
+	wantComm := 10*1e-6 + 1000*1e-9
+	if got := c.CommTime(model); got != wantComm {
+		t.Fatalf("comm time %g want %g", got, wantComm)
+	}
+	if got := c.Time(model); got != wantComm+500*1e-9 {
+		t.Fatalf("total time %g", got)
+	}
+	a := Cost{Bytes: 5, Msgs: 20, Flops: 1}
+	mx := c.Max(a)
+	if mx.Bytes != 1000 || mx.Msgs != 20 || mx.Flops != 500 {
+		t.Fatalf("max wrong: %v", mx)
+	}
+	if c.Add(a).Bytes != 1005 {
+		t.Fatal("add wrong")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -86,6 +87,18 @@ type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64
+
+	exMu      sync.Mutex
+	exemplars []exemplar // guarded by exMu; lazily len(bounds)+1; zero traceID = unset
+}
+
+// exemplar pins one concrete observation — a trace/span reference and the
+// observed value — to a histogram bucket, so an operator reading a slow
+// bucket on /metrics can jump straight to a representative trace in
+// /debug/traces.
+type exemplar struct {
+	traceID, spanID string
+	value           float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -113,6 +126,28 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v like Observe and pins a trace/span exemplar
+// to the owning bucket (latest observation wins), rendered after that
+// bucket's sample line OpenMetrics-style:
+//
+//	name_bucket{le="0.5"} 3 # {span_id="s01",trace_id="t000007"} 0.31
+//
+// An empty traceID degrades to a plain Observe, so callers can pass the
+// IDs unconditionally and let disabled/sampled-out tracing opt out.
+func (h *Histogram) ObserveExemplar(v float64, traceID, spanID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = exemplar{traceID: traceID, spanID: spanID, value: v}
+	h.exMu.Unlock()
 }
 
 // Count returns the total number of observations.
@@ -143,10 +178,18 @@ func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64) {
 
 func (h *Histogram) sampleLines(name, sig string) []string {
 	bounds, cum := h.Snapshot()
+	h.exMu.Lock()
+	ex := append([]exemplar(nil), h.exemplars...)
+	h.exMu.Unlock()
 	lines := make([]string, 0, len(bounds)+2)
 	for i, b := range bounds {
-		lines = append(lines, name+"_bucket"+mergeSig(sig, "le", formatValue(b))+" "+
-			formatValue(float64(cum[i])))
+		line := name + "_bucket" + mergeSig(sig, "le", formatValue(b)) + " " +
+			formatValue(float64(cum[i]))
+		if i < len(ex) && ex[i].traceID != "" {
+			line += " # " + labelSig([]string{"trace_id", "span_id"}, []string{ex[i].traceID, ex[i].spanID}) +
+				" " + formatValue(ex[i].value)
+		}
+		lines = append(lines, line)
 	}
 	lines = append(lines,
 		name+"_sum"+sig+" "+formatValue(h.Sum()),

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestHeadSamplerRateZeroAndForceKeep: at rate 0 every trace is sampled
+// out unless something forces a keep.
+func TestHeadSamplerRateZeroAndForceKeep(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSampleRate(0)
+	for i := 0; i < 10; i++ {
+		_, root := tr.Start(context.Background(), "req")
+		if root.Kept() {
+			t.Fatal("rate-0 trace reports Kept before ForceKeep")
+		}
+		root.End()
+	}
+	if got := len(tr.Traces()); got != 0 {
+		t.Fatalf("rate 0 retained %d traces, want 0", got)
+	}
+	if got := tr.SampledOut(); got != 10 {
+		t.Fatalf("sampled out = %d, want 10", got)
+	}
+
+	_, root := tr.Start(context.Background(), "err")
+	root.ForceKeep()
+	if !root.Kept() {
+		t.Fatal("ForceKeep did not mark the trace kept")
+	}
+	root.End()
+	traces := tr.Traces()
+	if len(traces) != 1 || traces[0][0].Name != "err" {
+		t.Fatalf("force-kept trace missing from ring: %+v", traces)
+	}
+	if got := tr.SampledOut(); got != 10 {
+		t.Fatalf("sampled out after force-keep = %d, want still 10", got)
+	}
+}
+
+// TestHeadSamplerRateOneKeepsAll: the default rate keeps every trace and
+// discards none.
+func TestHeadSamplerRateOneKeepsAll(t *testing.T) {
+	tr := NewTracer(64)
+	for i := 0; i < 10; i++ {
+		_, root := tr.Start(context.Background(), "req")
+		if !root.Kept() {
+			t.Fatal("default-rate trace not kept")
+		}
+		root.End()
+	}
+	if got := len(tr.Traces()); got != 10 {
+		t.Fatalf("retained %d traces, want 10", got)
+	}
+	if got := tr.SampledOut(); got != 0 {
+		t.Fatalf("sampled out = %d, want 0", got)
+	}
+}
+
+// TestHeadSamplerFractionalRate: a fractional rate keeps a strict,
+// deterministic subset — kept + sampled-out covers every trace, and the
+// kept fraction lands in a loose band around the rate.
+func TestHeadSamplerFractionalRate(t *testing.T) {
+	const n = 400
+	tr := NewTracer(n)
+	tr.SetSampleRate(0.5)
+	for i := 0; i < n; i++ {
+		_, root := tr.Start(context.Background(), "req")
+		root.End()
+	}
+	kept := len(tr.Traces())
+	if kept+int(tr.SampledOut()) != n {
+		t.Fatalf("kept %d + sampled out %d != %d", kept, tr.SampledOut(), n)
+	}
+	// The FNV-hash decision sequence is fixed, so this band never flakes;
+	// it only breaks if the sampler itself changes.
+	if kept < n/4 || kept > 3*n/4 {
+		t.Fatalf("rate 0.5 kept %d of %d, outside [%d, %d]", kept, n, n/4, 3*n/4)
+	}
+}
+
+// TestSampleKeepDeterministicAndMonotone: the per-ID decision is a pure
+// function of (id, rate) and monotone in the rate, so raising -trace-sample
+// only ever adds traces.
+func TestSampleKeepDeterministicAndMonotone(t *testing.T) {
+	ids := []string{"t000001", "t000002", "t000003", "t9", "x"}
+	rates := []float64{0.1, 0.3, 0.5, 0.9}
+	for _, id := range ids {
+		if sampleKeep(id, 1) != true {
+			t.Errorf("sampleKeep(%q, 1) = false", id)
+		}
+		if sampleKeep(id, 0) != false {
+			t.Errorf("sampleKeep(%q, 0) = true", id)
+		}
+		prev := false
+		for _, r := range rates {
+			got := sampleKeep(id, r)
+			if got != sampleKeep(id, r) {
+				t.Errorf("sampleKeep(%q, %v) not deterministic", id, r)
+			}
+			if prev && !got {
+				t.Errorf("sampleKeep(%q) not monotone: kept at lower rate, dropped at %v", id, r)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestHistogramExemplar: ObserveExemplar pins the latest trace/span pair
+// to the owning bucket and renders it after the bucket line; plain
+// Observe and empty-ID calls leave lines untouched.
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "help.", []float64{1, 2})
+	h.Observe(0.5)
+	if text := reg.Text(); strings.Contains(text, " # {") {
+		t.Fatalf("plain Observe produced an exemplar:\n%s", text)
+	}
+
+	h.ObserveExemplar(1.5, "t000001", "s01")
+	text := reg.Text()
+	want := `lat_bucket{le="2"} 2 # {span_id="s01",trace_id="t000001"} 1.5`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+
+	// Latest observation in a bucket replaces the exemplar.
+	h.ObserveExemplar(1.7, "t000002", "s02")
+	text = reg.Text()
+	if strings.Contains(text, "t000001") {
+		t.Fatalf("stale exemplar survived:\n%s", text)
+	}
+	want = `lat_bucket{le="2"} 3 # {span_id="s02",trace_id="t000002"} 1.7`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+
+	// Empty trace ID counts the observation without attaching an exemplar.
+	h.ObserveExemplar(0.2, "", "")
+	text = reg.Text()
+	if !strings.Contains(text, `lat_bucket{le="1"} 2`+"\n") {
+		t.Fatalf("empty-ID ObserveExemplar did not count:\n%s", text)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+
+	// Exemplars never perturb the non-exemplar series bytes.
+	if !strings.Contains(text, "lat_sum ") || !strings.Contains(text, "lat_count 4") {
+		t.Fatalf("sum/count lines damaged:\n%s", text)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
@@ -25,26 +26,69 @@ type SpanRecord struct {
 }
 
 // Tracer collects request traces into a bounded ring buffer and,
-// optionally, streams finished traces to a JSONL sink. A nil *Tracer is
-// the disabled state: Start returns a nil span and every span method
-// no-ops, so instrumentation points cost one nil check when tracing is
-// off.
+// optionally, streams finished traces to a JSONL sink. A head sampler
+// (SetSampleRate) bounds retention under production rates: traces keep
+// recording but only a sampled subset — plus anything force-kept, see
+// Span.ForceKeep — is sealed. A nil *Tracer is the disabled state: Start
+// returns a nil span and every span method no-ops, so instrumentation
+// points cost one nil check when tracing is off.
 type Tracer struct {
-	mu      sync.Mutex
-	cap     int
-	ring    [][]SpanRecord // guarded by mu; completed traces, oldest first
-	nextID  uint64         // guarded by mu
-	sink    io.Writer      // guarded by mu
-	dropped uint64         // guarded by mu; traces evicted from the ring
+	mu         sync.Mutex
+	cap        int
+	ring       [][]SpanRecord // guarded by mu; completed traces, oldest first
+	nextID     uint64         // guarded by mu
+	sink       io.Writer      // guarded by mu
+	dropped    uint64         // guarded by mu; traces evicted from the ring
+	sample     float64        // guarded by mu; head-sampling keep probability
+	sampledOut uint64         // guarded by mu; traces the head sampler discarded
 }
 
 // NewTracer creates a tracer retaining the most recent capacity traces
-// (minimum 1).
+// (minimum 1). The sample rate starts at 1 (keep every trace); see
+// SetSampleRate.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{cap: capacity}
+	return &Tracer{cap: capacity, sample: 1}
+}
+
+// SetSampleRate sets the head-sampling keep probability, clamped to
+// [0, 1]. Each trace draws its keep decision at Start from a hash of its
+// trace ID, so the decision is stable per trace and the kept set is a
+// rate-p subset of the ID sequence; traces sampled out still record spans
+// but are discarded (counted by SampledOut) instead of sealed at finish.
+// ForceKeep overrides the decision per trace — error and slow requests
+// stay observable at any rate. Rate 0 keeps only force-kept traces.
+func (tr *Tracer) SetSampleRate(p float64) {
+	if tr == nil {
+		return
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	tr.mu.Lock()
+	tr.sample = p
+	tr.mu.Unlock()
+}
+
+// sampleKeep is the head decision for one trace ID: the ID hashes to a
+// uniform point in [0, 1) which is kept iff it falls below the rate.
+// Deterministic per ID (no global randomness), statistically a rate-p
+// sample over the ID sequence.
+func sampleKeep(id string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, id)
+	return float64(h.Sum64()>>11)/(1<<53) < rate
 }
 
 // SetSink directs finished traces to w as JSONL, one span record per
@@ -64,9 +108,11 @@ type trace struct {
 	tr       *Tracer
 	id       string
 	start    time.Time
+	keep     bool // head-sampling decision, fixed at Start
 	mu       sync.Mutex
 	records  []SpanRecord // guarded by mu
 	nextSpan int          // guarded by mu
+	forced   bool         // guarded by mu; ForceKeep override
 }
 
 func (t *trace) spanID() string {
@@ -109,8 +155,9 @@ func (tr *Tracer) Start(ctx context.Context, name string) (context.Context, *Spa
 	tr.mu.Lock()
 	tr.nextID++
 	id := fmt.Sprintf("t%06d", tr.nextID)
+	rate := tr.sample
 	tr.mu.Unlock()
-	t := &trace{tr: tr, id: id, start: time.Now()}
+	t := &trace{tr: tr, id: id, start: time.Now(), keep: sampleKeep(id, rate)}
 	s := &Span{t: t, id: t.spanID(), name: name, start: t.start}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -133,6 +180,39 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		startUS: now.Sub(parent.t.start).Microseconds(),
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// ForceKeep marks the span's trace as always-kept, overriding the head
+// sampler: the HTTP middleware calls it for error and slow requests so
+// those traces survive any sample rate. No-op on a nil span.
+func (s *Span) ForceKeep() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.forced = true
+	s.t.mu.Unlock()
+}
+
+// Kept reports whether the span's trace will be retained when it finishes
+// (head-sampled in, or force-kept). Exemplar attachment consults it so
+// histograms only reference traces that actually exist in the ring/sink.
+// False on a nil span.
+func (s *Span) Kept() bool {
+	if s == nil {
+		return false
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.t.keep || s.t.forced
+}
+
+// IDs returns the trace and span identifiers, empty on a nil span.
+func (s *Span) IDs() (traceID, spanID string) {
+	if s == nil {
+		return "", ""
+	}
+	return s.t.id, s.id
 }
 
 // SpanFromContext returns the span carried by ctx, or nil.
@@ -230,17 +310,24 @@ func (s *Span) End() {
 	}
 }
 
-// finish seals a trace into the tracer's ring and sink.
+// finish seals a trace into the tracer's ring and sink, or discards it if
+// the head sampler dropped it and nothing forced a keep.
 func (t *trace) finish() {
 	t.mu.Lock()
 	records := t.records
 	t.records = nil
+	keep := t.keep || t.forced
 	t.mu.Unlock()
 	if len(records) == 0 {
 		return
 	}
 	tr := t.tr
 	tr.mu.Lock()
+	if !keep {
+		tr.sampledOut++
+		tr.mu.Unlock()
+		return
+	}
 	tr.ring = append(tr.ring, records)
 	if len(tr.ring) > tr.cap {
 		drop := len(tr.ring) - tr.cap
@@ -262,6 +349,17 @@ func (t *trace) finish() {
 		_, _ = sink.Write(buf)
 	}
 	tr.mu.Unlock()
+}
+
+// SampledOut reports how many finished traces the head sampler discarded
+// (distinct from Dropped, which counts ring evictions of kept traces).
+func (tr *Tracer) SampledOut() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.sampledOut
 }
 
 // Dropped reports how many finished traces the ring has evicted.

@@ -147,6 +147,12 @@ func (rw *respWriter) Write(b []byte) (int, error) {
 // instrument wraps an API handler with the request counter, latency and
 // response-size histograms, the tracer's root span, and the slow-request
 // log. route must be a member of httpRoutes (pre-registered label values).
+//
+// Trace retention: error responses (status ≥ 400) and slow requests
+// (elapsed ≥ SlowQuery, when set) force-keep their trace past the tracer's
+// head sampler, so the interesting traces survive any -trace-sample rate.
+// The duration histogram gets the root span's IDs as a bucket exemplar
+// whenever the trace is retained.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
@@ -163,8 +169,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if rw.status == 0 {
 			rw.status = http.StatusOK
 		}
+		if rw.status >= 400 || (s.slowQuery > 0 && elapsed >= s.slowQuery) {
+			span.ForceKeep()
+		}
 		s.m.httpReqs.With(route, statusText(rw.status)).Inc()
-		s.m.httpDur.With(route).Observe(elapsed.Seconds())
+		observeSpanExemplar(s.m.httpDur.With(route), elapsed.Seconds(), span)
 		s.m.httpBytes.With(route).Observe(float64(rw.bytes))
 		if span != nil {
 			span.SetAttr("status", rw.status).End()
@@ -176,6 +185,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				"elapsed_ms", float64(elapsed.Microseconds())/1e3)
 		}
 	}
+}
+
+// observeSpanExemplar records v on h, attaching the span's trace/span IDs
+// as the owning bucket's exemplar when the span's trace will be retained.
+// Sampled-out traces contribute no exemplar: a /metrics reader must be
+// able to follow every exemplar into /debug/traces.
+func observeSpanExemplar(h *obs.Histogram, v float64, span *obs.Span) {
+	if span != nil && span.Kept() {
+		tid, sid := span.IDs()
+		h.ObserveExemplar(v, tid, sid)
+		return
+	}
+	h.Observe(v)
 }
 
 // statusText buckets a status code into the fixed label vocabulary

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/obs"
@@ -244,6 +245,96 @@ func TestWriteJSONEncodeErrorCounted(t *testing.T) {
 	if got := s.Stats().EncodeErrors; got != 1 {
 		t.Fatalf("encode errors after clean write = %d, want 1", got)
 	}
+}
+
+// TestTraceSamplingErrorAndSlowKeep: with the tracer's head sampler at
+// rate 0, only error and slow requests retain traces — everything else is
+// sampled out — and the http duration histogram carries exemplar span IDs
+// only for retained traces.
+func TestTraceSamplingErrorAndSlowKeep(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	tr := obs.NewTracer(16)
+	tr.SetSampleRate(0)
+	s := New(Config{Workers: 1, Tracer: tr, Logger: quiet})
+	ts := httptest.NewServer(NewMux(s))
+	defer ts.Close()
+
+	doJSON(t, ts, "GET", "/healthz", nil, http.StatusOK, nil) // sampled out
+	doJSON(t, ts, "POST", "/query", QueryRequest{Graph: "nope"}, http.StatusNotFound, nil)
+
+	waitFor(t, "error trace kept past the sampler", func() bool {
+		for _, trc := range tr.Traces() {
+			for _, rec := range trc {
+				if rec.Name == "http.query" {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	for _, trc := range tr.Traces() {
+		for _, rec := range trc {
+			if rec.Name == "http.healthz" {
+				t.Fatal("sampled-out healthz trace reached the ring")
+			}
+		}
+	}
+	if tr.SampledOut() == 0 {
+		t.Fatal("successful request was not sampled out at rate 0")
+	}
+
+	// Every duration-histogram exemplar must point at a trace that is
+	// actually retrievable from the ring; the sampled-out route gets none.
+	ringIDs := map[string]bool{}
+	for _, trc := range tr.Traces() {
+		for _, rec := range trc {
+			ringIDs[rec.Trace] = true
+		}
+	}
+	text := s.Registry().Text()
+	sawExemplar := false
+	for _, line := range strings.Split(text, "\n") {
+		series, rest, ok := strings.Cut(line, " # ")
+		if !ok || !strings.HasPrefix(series, "mfbc_http_request_duration_seconds_bucket") {
+			continue
+		}
+		sawExemplar = true
+		if strings.Contains(series, `route="healthz"`) {
+			t.Fatalf("sampled-out route carries an exemplar: %s", line)
+		}
+		marker := `trace_id="`
+		i := strings.Index(rest, marker)
+		if i < 0 {
+			t.Fatalf("exemplar without trace_id: %s", line)
+		}
+		id := rest[i+len(marker):]
+		id = id[:strings.IndexByte(id, '"')]
+		if !ringIDs[id] {
+			t.Fatalf("exemplar references unkept trace %q: %s", id, line)
+		}
+	}
+	if !sawExemplar {
+		t.Fatalf("no exemplar on the http duration histogram:\n%s", text)
+	}
+
+	// Slow requests force-keep too: with a 1ns threshold every request
+	// counts as slow, so even a 200 survives rate 0.
+	tr2 := obs.NewTracer(16)
+	tr2.SetSampleRate(0)
+	s2 := New(Config{Workers: 1, Tracer: tr2, Logger: quiet, SlowQuery: time.Nanosecond})
+	ts2 := httptest.NewServer(NewMux(s2))
+	defer ts2.Close()
+	doJSON(t, ts2, "GET", "/healthz", nil, http.StatusOK, nil)
+	waitFor(t, "slow trace kept past the sampler", func() bool {
+		for _, trc := range tr2.Traces() {
+			for _, rec := range trc {
+				if rec.Name == "http.healthz" {
+					return true
+				}
+			}
+		}
+		return false
+	})
 }
 
 // TestDebugTracesEndpoint: 404 without a tracer, JSONL with one.

@@ -97,6 +97,23 @@ type Config struct {
 	// SlowQuery, when positive, logs any instrumented HTTP request that
 	// takes at least this long as a warning with route and latency.
 	SlowQuery time.Duration
+	// NewDynamic overrides streaming-engine construction. cmd/mfbc-serve
+	// uses it in -transport tcp mode to build engines whose applies are
+	// replicated across the worker ranks (internal/rankrun); nil
+	// constructs the default in-process repro.DynamicBC. The name is the
+	// graph's registry name; implementations that hold per-name state
+	// must tolerate re-construction under the same name (the previous
+	// engine was orphaned by eviction or replacement).
+	NewDynamic func(name string, g *repro.Graph, opt repro.DynamicOptions) (DynEngine, error)
+}
+
+// DynEngine is the streaming-engine surface the server drives for PATCH
+// mutations: apply a batch, snapshot the scores, report counters.
+// *repro.DynamicBC is the canonical implementation.
+type DynEngine interface {
+	ApplyCtx(ctx context.Context, batch []repro.Mutation) (repro.ApplyReport, error)
+	Scores() repro.DynamicSnapshot
+	Stats() repro.DynamicStats
 }
 
 const defaultCacheSize = 256
@@ -117,6 +134,7 @@ type Server struct {
 	dynRefreshEvery int
 	logCompactAt    int
 	logTruncate     bool
+	newDynamic      func(name string, g *repro.Graph, opt repro.DynamicOptions) (DynEngine, error)
 
 	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
 	// replaceable by tests to observe or stall computations.
@@ -143,7 +161,7 @@ type graphEntry struct {
 	loadedAt time.Time
 	// dyn is the graph's streaming engine, created on the first mutation
 	// and carried across versions so incremental applies keep warm scores.
-	dyn *repro.DynamicBC
+	dyn DynEngine
 }
 
 type cacheEntry struct {
@@ -230,6 +248,7 @@ func New(cfg Config) *Server {
 		dynRefreshEvery: cfg.DynRefreshEvery,
 		logCompactAt:    cfg.LogCompactAt,
 		logTruncate:     cfg.LogTruncate,
+		newDynamic:      cfg.NewDynamic,
 		computeExact:    repro.Compute,
 		computeApprox:   repro.ApproximateBC,
 		registry:        reg,
@@ -242,6 +261,11 @@ func New(cfg Config) *Server {
 		lru:             list.New(),
 		flight:          make(map[string]*flightCall),
 		mutLocks:        make(map[string]*sync.Mutex),
+	}
+	if s.newDynamic == nil {
+		s.newDynamic = func(_ string, g *repro.Graph, opt repro.DynamicOptions) (DynEngine, error) {
+			return repro.NewDynamicBC(g, opt)
+		}
 	}
 	// Registry-size gauges are computed at scrape time under s.mu; the
 	// exposition renderer never holds s.mu, so there is no lock cycle.
@@ -570,7 +594,7 @@ func (s *Server) MutateCtx(ctx context.Context, name string, muts []repro.Mutati
 
 	if dyn == nil {
 		var err error
-		dyn, err = repro.NewDynamicBC(ge.g, repro.DynamicOptions{
+		dyn, err = s.newDynamic(name, ge.g, repro.DynamicOptions{
 			Workers: s.workers, DirtyThreshold: s.dirty,
 			Procs: s.dynProcs, CacheSets: s.dynCacheSets,
 			SampleBudget: s.dynSampleBudget, RefreshEvery: s.dynRefreshEvery,
@@ -619,7 +643,7 @@ func (s *Server) MutateCtx(ctx context.Context, name string, muts []repro.Mutati
 	}
 	s.mu.Unlock()
 
-	s.m.mutateDur.With(rep.Strategy).Observe(time.Since(start).Seconds())
+	observeSpanExemplar(s.m.mutateDur.With(rep.Strategy), time.Since(start).Seconds(), span)
 	s.recordApplyTelemetry(rep)
 	span.SetAttr("strategy", rep.Strategy).SetAttr("affected", rep.Affected).
 		SetAttr("fused", rep.Fused).SetAttr("version", rep.Version)
@@ -872,7 +896,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 		ce := el.Value.(*cacheEntry)
 		s.m.cacheHits.Inc()
 		s.mu.Unlock()
-		s.m.queryDur.With("cache").Observe(time.Since(start).Seconds())
+		observeSpanExemplar(s.m.queryDur.With("cache"), time.Since(start).Seconds(), span)
 		span.SetAttr("source", "cache")
 		return render(req, ge.version, ce, true, false), nil
 	}
@@ -883,7 +907,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 		if fc.err != nil {
 			return nil, fc.err
 		}
-		s.m.queryDur.With("coalesced").Observe(time.Since(start).Seconds())
+		observeSpanExemplar(s.m.queryDur.With("coalesced"), time.Since(start).Seconds(), span)
 		span.SetAttr("source", "coalesced")
 		return render(req, ge.version, fc.entry, false, true), nil
 	}
@@ -917,7 +941,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 	if s.graphs[req.Graph] != ge {
 		s.mu.Unlock()
 		close(fc.done)
-		s.m.queryDur.With("compute").Observe(time.Since(start).Seconds())
+		observeSpanExemplar(s.m.queryDur.With("compute"), time.Since(start).Seconds(), span)
 		span.SetAttr("source", "compute")
 		return render(req, ge.version, ce, false, false), nil
 	}
@@ -926,7 +950,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) (*QueryResult, 
 	}
 	s.mu.Unlock()
 	close(fc.done)
-	s.m.queryDur.With("compute").Observe(time.Since(start).Seconds())
+	observeSpanExemplar(s.m.queryDur.With("compute"), time.Since(start).Seconds(), span)
 	span.SetAttr("source", "compute")
 	return render(req, ge.version, ce, false, false), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/distmat"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 )
 
@@ -18,7 +19,7 @@ func TestCannonMatchesSequential(t *testing.T) {
 			wantB := sparse.FromCOO(cooB, addF)
 			want, _ := sparse.Mul(wantA, wantB, mulF, addF)
 
-			mach := machine.New(p)
+			mach := sim.New(p)
 			_, err := mach.Run(func(proc *machine.Proc) {
 				s := NewSession(proc)
 				a := distmat.FromGlobal(proc.Rank(), cooA, distmat.DistShard(p), addF)
@@ -41,7 +42,7 @@ func planName(p int) string {
 }
 
 func TestCannonRejectsNonSquare(t *testing.T) {
-	mach := machine.New(6)
+	mach := sim.New(6)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)
 		cooA := randomCOO(10, 10, 0.3, 1)
@@ -57,7 +58,7 @@ func TestCannonChargesPointToPoint(t *testing.T) {
 	p := 9
 	cooA := randomCOO(30, 30, 0.3, 5)
 	cooB := randomCOO(30, 30, 0.3, 6)
-	mach := machine.New(p)
+	mach := sim.New(p)
 	stats, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)
 		a := distmat.FromGlobal(proc.Rank(), cooA, distmat.DistShard(p), addF)
@@ -74,7 +75,7 @@ func TestCannonChargesPointToPoint(t *testing.T) {
 }
 
 func TestSendRecvMismatchFails(t *testing.T) {
-	mach := machine.New(2)
+	mach := sim.New(2)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		// Both ranks address rank 0: rank 1 receives nothing it expects.
 		machine.SendRecv(proc.World(), 0, proc.Rank()^1, []int{proc.Rank()})

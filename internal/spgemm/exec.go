@@ -198,11 +198,14 @@ func CachedPlans(c *OperandCache, id uint64) []PlanDims {
 }
 
 // workers resolves the Workers knob for this rank; see the field comment.
+// The fair share divides host cores by the ranks co-hosted in this OS
+// process (the whole world under sim, one under a rank-per-process
+// transport, where each rank owns its host's cores).
 func (s *Session) workers() int {
 	if s.Workers != 0 {
 		return parallel.Resolve(s.Workers)
 	}
-	w := parallel.Resolve(0) / s.Proc.World().Size()
+	w := parallel.Resolve(0) / s.Proc.LocalRanks()
 	if w < 1 {
 		w = 1
 	}

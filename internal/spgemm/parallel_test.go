@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/distmat"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 )
 
@@ -19,7 +20,7 @@ func checkPlanWorkers(t *testing.T, plan Plan, m, k, n int, seed int64, workers 
 
 	run := func(workers int) *sparse.CSR[float64] {
 		var out *sparse.CSR[float64]
-		mach := machine.New(p)
+		mach := sim.New(p)
 		_, err := mach.Run(func(proc *machine.Proc) {
 			s := NewSession(proc)
 			s.Workers = workers
@@ -83,7 +84,7 @@ func TestCacheKeyDistinguishesMatrices(t *testing.T) {
 	want1, _ := sparse.Mul(a, b1, mulF, addF)
 	want2, _ := sparse.Mul(a, b2, mulF, addF)
 
-	mach := machine.New(p)
+	mach := sim.New(p)
 	var got1, got2 *sparse.CSR[float64]
 	_, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/distmat"
 	"repro/internal/machine"
+	"repro/internal/machine/sim"
 	"repro/internal/sparse"
 )
 
@@ -41,7 +42,7 @@ func checkPlan(t *testing.T, plan Plan, m, k, n int, seed int64) {
 	wantB := sparse.FromCOO(cooB, addF)
 	want, _ := sparse.Mul(wantA, wantB, mulF, addF)
 
-	mach := machine.New(p)
+	mach := sim.New(p)
 	results := make([]*sparse.CSR[float64], p)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)
@@ -124,7 +125,7 @@ func TestMultiplyRectangularShortFat(t *testing.T) {
 
 func TestMultiplyEmptyOperand(t *testing.T) {
 	plan := Plan{P1: 1, P2: 2, P3: 2, X: RoleA, YZ: VarAB}
-	mach := machine.New(4)
+	mach := sim.New(4)
 	_, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)
 		a := &distmat.Mat[float64]{Rows: 10, Cols: 10, Dist: distmat.DistShard(4)}
@@ -146,7 +147,7 @@ func TestMultiplyCachedStationary(t *testing.T) {
 	plan := Plan{P1: 2, P2: 2, P3: 1, X: RoleB, YZ: VarAC}
 	cooA := randomCOO(20, 30, 0.2, 9)
 	cooB := randomCOO(30, 30, 0.2, 10)
-	mach := machine.New(4)
+	mach := sim.New(4)
 	var costFirst, costSecond machine.Cost
 	_, err := mach.Run(func(proc *machine.Proc) {
 		s := NewSession(proc)
