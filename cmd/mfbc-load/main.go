@@ -25,6 +25,7 @@
 //	mfbc-load -addr http://localhost:8080 -mode run -rate 200 -schedule diurnal:0.5@30s
 //	mfbc-load -mode sweep -rates 50,100,200,400,800 -step-duration 5s -json BENCH_load.json
 //	mfbc-load -quick -json BENCH_load.json
+//	mfbc-load -quick -ingest -cohorts ingest -json BENCH_load_async.json -baseline BENCH_load.json
 //
 // -json emits the same point schema as mfbc-bench -json (BENCH_*.json),
 // so load results live next to the modeled-performance baselines.
@@ -82,6 +83,11 @@ type cliConfig struct {
 	replay   string
 	traceOut string
 	quick    bool
+
+	ingest           bool
+	ingestDurability string
+	ingestMaxDepth   int
+	baseline         string
 }
 
 func parseFlags(args []string) (cliConfig, error) {
@@ -109,6 +115,13 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.StringVar(&c.replay, "replay", "", "replay an open-loop trace from this JSONL file instead of generating")
 	fs.StringVar(&c.traceOut, "trace-out", "", "in-process mode: enable request tracing on the embedded server and stream finished traces to this JSONL file")
 	fs.BoolVar(&c.quick, "quick", false, "CI preset: small in-process saturation sweep (overrides most knobs)")
+	fs.BoolVar(&c.ingest, "ingest", false, "in-process server: enable the async ingestion pipeline (write-ahead queue + group commit)")
+	fs.StringVar(&c.ingestDurability, "ingest-durability", "applied",
+		"in-process server with -ingest: default PATCH ack durability, applied | enqueued")
+	fs.IntVar(&c.ingestMaxDepth, "ingest-max-depth", 256,
+		"in-process server with -ingest: per-graph queue bound before 429 backpressure (negative = unbounded)")
+	fs.StringVar(&c.baseline, "baseline", "",
+		"sweep mode: bench-points JSON of a prior sweep; fail if the measured knee regresses below its knee rate")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -179,8 +192,15 @@ func parseGraphs(spec string, seed int64) ([]*load.SeededGraph, error) {
 
 // parseCohorts parses the -cohorts grammar.
 func parseCohorts(spec string, zipfS float64) ([]load.CohortSpec, error) {
-	if spec == "default" {
+	switch spec {
+	case "default":
 		cohorts := load.DefaultCohorts()
+		for i := range cohorts {
+			cohorts[i].ZipfS = zipfS
+		}
+		return cohorts, nil
+	case "ingest":
+		cohorts := load.IngestCohorts()
 		for i := range cohorts {
 			cohorts[i].ZipfS = zipfS
 		}
@@ -245,14 +265,29 @@ func run(cfg cliConfig, out io.Writer) error {
 		return err
 	}
 
+	switch cfg.ingestDurability {
+	case "", server.DurabilityApplied, server.DurabilityEnqueued:
+	default:
+		return fmt.Errorf("unknown -ingest-durability %q (want %s|%s)",
+			cfg.ingestDurability, server.DurabilityApplied, server.DurabilityEnqueued)
+	}
+
 	var tg load.Target
 	if cfg.addr != "" {
 		if cfg.traceOut != "" {
 			return fmt.Errorf("-trace-out drives the in-process server; against a live server use mfbc-serve -trace-out")
 		}
+		if cfg.ingest {
+			return fmt.Errorf("-ingest configures the in-process server; against a live server use mfbc-serve -ingest-queue")
+		}
 		tg = load.NewHTTPTarget(cfg.addr, 2*cfg.inflight)
 	} else {
 		scfg := server.Config{Workers: cfg.workers, CacheSize: cfg.cache}
+		if cfg.ingest {
+			scfg.IngestQueue = true
+			scfg.IngestDurability = cfg.ingestDurability
+			scfg.IngestMaxDepth = cfg.ingestMaxDepth
+		}
 		if cfg.traceOut != "" {
 			f, err := os.Create(cfg.traceOut)
 			if err != nil {
@@ -295,9 +330,17 @@ func run(cfg cliConfig, out io.Writer) error {
 				fmt.Fprintf(out, "WARNING (rate %.0f): %v\n", p.Offered, err)
 			}
 		}
+		if cfg.baseline != "" {
+			if err := checkBaseline(out, cfg.baseline, res); err != nil {
+				return err
+			}
+		}
 		points = res.BenchPoints(graphs)
 
 	case "run":
+		if cfg.baseline != "" {
+			return fmt.Errorf("-baseline applies to sweep mode only")
+		}
 		res, err := runOnce(tg, cfg, cohorts, graphs)
 		if err != nil {
 			return err
@@ -403,11 +446,12 @@ func printRun(out io.Writer, res *load.RunResult) {
 
 func printSweep(out io.Writer, res *load.SweepResult) {
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "offered\tachieved\tgoodput\tp50ms\tp99ms\terr\tsaturated\n")
+	fmt.Fprintf(tw, "offered\tachieved\tgoodput\tp50ms\tp99ms\tqw99ms\terr\tsaturated\n")
 	for _, p := range res.Points {
-		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.2f\t%.2f\t%d\t%v\n",
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%d\t%v\n",
 			p.Offered, p.Run.Total.RPS, p.Run.Total.GoodputRPS,
 			p.Run.Total.Lat.P50MS, p.Run.Total.Lat.P99MS,
+			p.Run.Total.QueueWait.P99MS,
 			p.Run.Total.Errors, p.Saturated)
 	}
 	tw.Flush()
@@ -419,6 +463,40 @@ func printSweep(out io.Writer, res *load.SweepResult) {
 	default:
 		fmt.Fprintf(out, "no knee found: even the lowest offered rate saturated the service\n")
 	}
+}
+
+// checkBaseline compares the measured sweep knee against a prior sweep's
+// bench points (the row flagged Knee: true) and errors on regression —
+// the CI gate that keeps async-ingestion throughput from silently
+// eroding. Sustaining every offered rate (knee unbracketed but
+// KneeIndex ≥ 0) passes as long as the top sustained rate is at least
+// the baseline knee.
+func checkBaseline(out io.Writer, path string, res *load.SweepResult) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var points []bench.Point
+	if err := json.Unmarshal(b, &points); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	baseKnee := 0.0
+	for _, p := range points {
+		if p.Knee && p.OfferedRPS > baseKnee {
+			baseKnee = p.OfferedRPS
+		}
+	}
+	if !(baseKnee > 0) {
+		return fmt.Errorf("-baseline %s: no point has knee: true", path)
+	}
+	if res.KneeIndex < 0 {
+		return fmt.Errorf("knee regression: even the lowest offered rate saturated (baseline knee %.0f req/s)", baseKnee)
+	}
+	if res.KneeRPS < baseKnee {
+		return fmt.Errorf("knee regression: sustained %.0f req/s, baseline knee %.0f req/s", res.KneeRPS, baseKnee)
+	}
+	fmt.Fprintf(out, "baseline gate: sustained %.0f req/s >= baseline knee %.0f req/s\n", res.KneeRPS, baseKnee)
+	return nil
 }
 
 // writeJSON dumps the points as an indented JSON array, the same format

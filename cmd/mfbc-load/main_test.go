@@ -121,6 +121,103 @@ func TestQuickSweepEmitsJSON(t *testing.T) {
 	}
 }
 
+// TestIngestSweepAndBaselineGate drives the async-ingestion CI entry
+// point: the "ingest" cohort alias, the -ingest in-process pipeline, and
+// the -baseline knee-regression gate in both its passing and failing
+// directions.
+func TestIngestSweepAndBaselineGate(t *testing.T) {
+	cohorts, err := parseCohorts("ingest", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohorts) != 2 || cohorts[1].Kind != "mutate" {
+		t.Fatalf("ingest cohorts = %+v", cohorts)
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "pts.json")
+	writeBase := func(name string, knee float64) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		b, err := json.Marshal([]bench.Point{
+			{Experiment: "load-sweep", Cohort: "all", OfferedRPS: knee, Knee: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cfg, err := parseFlags([]string{
+		"-mode", "sweep", "-cohorts", "ingest", "-ingest",
+		"-graphs", "g=grid:6x6x5", "-rates", "30,60",
+		"-step-duration", "400ms", "-window", "200ms",
+		"-json", jsonPath, "-baseline", writeBase("base_low.json", 25),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("ingest sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baseline gate: ") {
+		t.Fatalf("output missing baseline-gate line:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []bench.Point
+	if err := json.Unmarshal(raw, &points); err != nil {
+		t.Fatal(err)
+	}
+	commits := int64(0)
+	for _, p := range points {
+		if p.Cohort == "all" {
+			commits += p.IngestCommits
+		}
+	}
+	if commits == 0 {
+		t.Fatalf("ingest sweep recorded no group commits:\n%s", string(raw))
+	}
+
+	// An unreachable baseline knee must fail the gate.
+	cfg.baseline = writeBase("base_high.json", 1e9)
+	if err := run(cfg, &out); err == nil || !strings.Contains(err.Error(), "knee regression") {
+		t.Fatalf("gate must fail against a 1e9 baseline knee, got %v", err)
+	}
+	// A baseline with no knee row is a usage error, not a silent pass.
+	noKnee := filepath.Join(dir, "base_noknee.json")
+	if err := os.WriteFile(noKnee, []byte(`[{"cohort":"all","offered_rps":30}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.baseline = noKnee
+	if err := run(cfg, &out); err == nil || !strings.Contains(err.Error(), "knee: true") {
+		t.Fatalf("baseline without a knee row must be rejected, got %v", err)
+	}
+
+	// -ingest configures the embedded server only.
+	live, err := parseFlags([]string{"-addr", "http://127.0.0.1:1", "-ingest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(live, &out); err == nil || !strings.Contains(err.Error(), "-ingest") {
+		t.Fatalf("live-server -ingest must be rejected, got %v", err)
+	}
+	bad, err := parseFlags([]string{"-ingest", "-ingest-durability", "eventually"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, &out); err == nil || !strings.Contains(err.Error(), "-ingest-durability") {
+		t.Fatalf("bad durability must be rejected, got %v", err)
+	}
+}
+
 // TestRecordReplay pins the CLI's record/replay loop: an open-loop run
 // recorded to JSONL and replayed must observe exactly the same request
 // count (the trace is the workload; the driver adds nothing).

@@ -34,6 +34,16 @@ const (
 	MutAddVertex  = graph.OpAddVertex
 )
 
+// CoalesceMutations collapses a concatenated mutation stream into its
+// compact equivalent (add+remove cancels, remove+add becomes set_weight,
+// chained sets keep the last, add_vertex hoisted). Replaying the result
+// yields the same graph as replaying the input one op at a time — this is
+// the algebra the server's group-commit ingestion path applies before
+// handing a merged batch to the engine.
+func CoalesceMutations(directed bool, muts []Mutation) []Mutation {
+	return dynamic.Coalesce(directed, muts)
+}
+
 // DynamicOptions configures a DynamicBC engine.
 type DynamicOptions struct {
 	// Batch and Workers mirror Options: sources per MFBC sweep and local

@@ -125,6 +125,17 @@ type Point struct {
 	ServerP50MS    float64 `json:"server_p50_ms,omitempty"`
 	ServerP95MS    float64 `json:"server_p95_ms,omitempty"`
 	ServerP99MS    float64 `json:"server_p99_ms,omitempty"`
+	// Async-ingestion fields (load rows against a server running the
+	// write-ahead mutation queue): the percentile spread of per-request
+	// queue wait (time a PATCH batch sat queued before its group commit,
+	// separating queue time from apply time) and the /stats deltas of the
+	// pipeline's counters over the step.
+	QueueWaitP50MS  float64 `json:"queue_wait_p50_ms,omitempty"`
+	QueueWaitP95MS  float64 `json:"queue_wait_p95_ms,omitempty"`
+	QueueWaitP99MS  float64 `json:"queue_wait_p99_ms,omitempty"`
+	IngestCommits   int64   `json:"ingest_commits,omitempty"`
+	IngestCoalesced int64   `json:"ingest_coalesced,omitempty"`
+	IngestRejected  int64   `json:"ingest_rejected,omitempty"`
 }
 
 // Experiments lists the available experiment ids in presentation order.

@@ -304,9 +304,16 @@ func (l *MutationLog) Compact(directed bool) {
 			out = append(out, Mutation{Op: OpAddEdge, U: k[0], V: k[1], W: h.last.W})
 		case h.alive && existedBefore:
 			// remove+add or set chains on a pre-existing edge: one set_weight,
-			// and only if some op actually changed the weight.
+			// and only if some op actually changed the weight. An add_edge
+			// recorded with the W == 0 default-weight sentinel re-created the
+			// edge at weight 1, so the compacted set_weight must say 1
+			// explicitly — set_weight has no zero sentinel and rejects w ≤ 0.
 			if h.last.Op != "" {
-				out = append(out, Mutation{Op: OpSetWeight, U: k[0], V: k[1], W: h.last.W})
+				w := h.last.W
+				if h.last.Op == OpAddEdge && w == 0 { //lint:allow floateq zero is the add_edge default-weight sentinel, never computed
+					w = 1
+				}
+				out = append(out, Mutation{Op: OpSetWeight, U: k[0], V: k[1], W: w})
 			}
 		case !h.alive && existedBefore:
 			out = append(out, Mutation{Op: OpRemoveEdge, U: k[0], V: k[1]})

@@ -101,7 +101,10 @@ func RunOpenLoop(tg Target, trace []Request, offered float64, window time.Durati
 			// Latency from the scheduled arrival, not the (possibly
 			// semaphore-delayed) dispatch.
 			lat := time.Since(start) - req.At
-			rec.Observe(Sample{Cohort: req.Cohort, Start: req.At, Latency: lat, OK: out.OK()})
+			rec.Observe(Sample{
+				Cohort: req.Cohort, Start: req.At, Latency: lat, OK: out.OK(),
+				Op: req.Op, QueueWaitMS: out.QueueWaitMS,
+			})
 			<-sem
 		}()
 	}
@@ -173,6 +176,7 @@ func RunClosedLoop(tg Target, cfg TraceConfig, window time.Duration) (*RunResult
 					rec.Observe(Sample{
 						Cohort: req.Cohort, Start: at,
 						Latency: time.Since(start) - at, OK: out.OK(),
+						Op: req.Op, QueueWaitMS: out.QueueWaitMS,
 					})
 					if c.Think > 0 {
 						time.Sleep(c.Think)

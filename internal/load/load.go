@@ -150,6 +150,18 @@ func DefaultCohorts() []CohortSpec {
 	}
 }
 
+// IngestCohorts is the mutate-heavy preset for exercising the async
+// ingestion pipeline: a 2/5 mutate share with zipf key popularity (hot
+// graphs absorb most writes, so per-graph queues actually coalesce) and a
+// reader cohort verifying that snapshot-isolated queries stay responsive
+// while appliers group-commit.
+func IngestCohorts() []CohortSpec {
+	return []CohortSpec{
+		{Name: "readers", Kind: "topk", Weight: 3, Clients: 2, Think: 10 * time.Millisecond, Popularity: "zipf"},
+		{Name: "writers", Kind: "mutate", Weight: 2, Clients: 2, Think: 10 * time.Millisecond, Popularity: "zipf"},
+	}
+}
+
 // SeededGraph is one registry graph the workload addresses: its name, the
 // spec it is registered from, and the edge list of the locally
 // materialized graph. Because server.BuildGraph is deterministic in the

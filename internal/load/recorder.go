@@ -14,6 +14,12 @@ type Sample struct {
 	Start   time.Duration
 	Latency time.Duration
 	OK      bool
+	// Op distinguishes query from mutate samples; QueueWaitMS is the
+	// server-reported time a mutate batch spent in the write-ahead queue
+	// before its group commit started (async ingestion only), so the
+	// sweep can separate queue time from apply time.
+	Op          Op
+	QueueWaitMS float64
 }
 
 // Recorder collects samples from concurrent driver goroutines and
@@ -102,18 +108,29 @@ type CohortSummary struct {
 	RPS        float64
 	GoodputRPS float64
 	Lat        LatencyStats
+	// MutateRequests counts the cohort's mutate samples; QueueWait is the
+	// percentile spread of their server-reported write-ahead queue waits
+	// (zero-valued when the target runs without async ingestion).
+	MutateRequests int
+	QueueWait      LatencyStats
 }
 
 func summarize(cohort string, samples []Sample, elapsed time.Duration) CohortSummary {
 	sum := CohortSummary{Cohort: cohort, Requests: len(samples)}
 	lats := make([]time.Duration, 0, len(samples))
+	var waits []time.Duration
 	for _, s := range samples {
 		if !s.OK {
 			sum.Errors++
 		}
 		lats = append(lats, s.Latency)
+		if s.Op == OpMutate {
+			sum.MutateRequests++
+			waits = append(waits, time.Duration(s.QueueWaitMS*float64(time.Millisecond)))
+		}
 	}
 	sum.Lat = percentiles(lats)
+	sum.QueueWait = percentiles(waits)
 	if elapsed > 0 {
 		secs := elapsed.Seconds()
 		sum.RPS = float64(sum.Requests) / secs

@@ -150,6 +150,11 @@ func benchRow(experiment, graphLabel string, n, m int, offered float64, sum Coho
 		Requests:    int64(sum.Requests),
 		ReqErrors:   int64(sum.Errors),
 	}
+	if sum.MutateRequests > 0 {
+		pt.QueueWaitP50MS = sum.QueueWait.P50MS
+		pt.QueueWaitP95MS = sum.QueueWait.P95MS
+		pt.QueueWaitP99MS = sum.QueueWait.P99MS
+	}
 	if run != nil {
 		pt.WallSec = run.Elapsed.Seconds()
 		d := statsDelta(run.StatsBefore, run.StatsAfter)
@@ -157,6 +162,9 @@ func benchRow(experiment, graphLabel string, n, m int, offered float64, sum Coho
 		pt.Coalesced = d.Coalesced
 		pt.WarmSeeds = d.WarmSeeds
 		pt.CacheEvictions = d.Evictions
+		pt.IngestCommits = d.IngestCommits
+		pt.IngestCoalesced = d.IngestCoalesced
+		pt.IngestRejected = d.IngestRejected
 		if ss := run.ServerSummary(); ss != nil {
 			pt.ServerRequests = ss.Requests
 			pt.ServerP50MS = ss.P50MS
@@ -203,15 +211,19 @@ func (sr *SweepResult) BenchPoints(graphs []*SeededGraph) []bench.Point {
 // statsDeltas holds the per-step change of the cumulative server
 // counters the harness reports.
 type statsDeltas struct {
-	CacheHits, Coalesced, WarmSeeds, Evictions int64
+	CacheHits, Coalesced, WarmSeeds, Evictions     int64
+	IngestCommits, IngestCoalesced, IngestRejected int64
 }
 
 // statsDelta returns after − before on the scraped server counters.
 func statsDelta(before, after server.Stats) statsDeltas {
 	return statsDeltas{
-		CacheHits: after.CacheHits - before.CacheHits,
-		Coalesced: after.Coalesced - before.Coalesced,
-		WarmSeeds: after.WarmSeeds - before.WarmSeeds,
-		Evictions: after.Evictions - before.Evictions,
+		CacheHits:       after.CacheHits - before.CacheHits,
+		Coalesced:       after.Coalesced - before.Coalesced,
+		WarmSeeds:       after.WarmSeeds - before.WarmSeeds,
+		Evictions:       after.Evictions - before.Evictions,
+		IngestCommits:   after.IngestCommits - before.IngestCommits,
+		IngestCoalesced: after.IngestCoalesced - before.IngestCoalesced,
+		IngestRejected:  after.IngestRejected - before.IngestRejected,
 	}
 }

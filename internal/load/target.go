@@ -19,6 +19,12 @@ import (
 type Outcome struct {
 	Status int
 	Err    error
+	// Mutate-only fields decoded from the PATCH response when the server
+	// runs the async ingestion pipeline: whether the ack was
+	// enqueued-durability (202, not yet applied) and how long the batch
+	// waited queued before its group commit started. Zero elsewhere.
+	Queued      bool
+	QueueWaitMS float64
 }
 
 // OK reports whether the request succeeded end to end.
@@ -113,10 +119,23 @@ func (t *HTTPTarget) roundTrip(method, path string, body []byte, out any) Outcom
 	return Outcome{Status: resp.StatusCode}
 }
 
+// mutateAck is the slice of the PATCH response the harness keeps: the
+// async-ingestion fields that separate queue time from apply time.
+type mutateAck struct {
+	Queued      bool    `json:"queued"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+}
+
 func (t *HTTPTarget) Do(r *Request) Outcome {
 	method, path, body, err := encode(r)
 	if err != nil {
 		return Outcome{Err: err}
+	}
+	if r.Op == OpMutate {
+		var ack mutateAck
+		out := t.roundTrip(method, path, body, &ack)
+		out.Queued, out.QueueWaitMS = ack.Queued, ack.QueueWaitMS
+		return out
 	}
 	return t.roundTrip(method, path, body, nil)
 }
@@ -190,7 +209,14 @@ func (t *InprocTarget) Do(r *Request) Outcome {
 	req.Header.Set("Content-Type", "application/json")
 	rw := httptest.NewRecorder()
 	t.mux.ServeHTTP(rw, req)
-	return Outcome{Status: rw.Code}
+	out := Outcome{Status: rw.Code}
+	if r.Op == OpMutate && rw.Code < 300 {
+		var ack mutateAck
+		if json.Unmarshal(rw.Body.Bytes(), &ack) == nil {
+			out.Queued, out.QueueWaitMS = ack.Queued, ack.QueueWaitMS
+		}
+	}
+	return out
 }
 
 func (t *InprocTarget) Register(name string, spec server.GraphSpec) error {

@@ -86,12 +86,22 @@ func NewMux(s *Server) *http.ServeMux {
 			s.writeError(w, statusFor(err), err)
 			return
 		}
-		res, err := s.MutateCtx(r.Context(), r.PathValue("name"), req.Mutations)
+		res, err := s.MutateDurable(r.Context(), r.PathValue("name"), req.Mutations, req.Durability)
 		if err != nil {
-			s.writeError(w, statusFor(err), err)
+			code := statusFor(err)
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			s.writeError(w, code, err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, res)
+		// Enqueued-durability acks report 202: the batch is queued, not
+		// yet applied.
+		code := http.StatusOK
+		if res.Queued {
+			code = http.StatusAccepted
+		}
+		s.writeJSON(w, code, res)
 	}))
 
 	mux.HandleFunc("DELETE /graphs/{name}", s.instrument("evict", func(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +232,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrGraphConflict):
 		return http.StatusConflict
+	case errors.Is(err, ErrIngestBackpressure):
+		return http.StatusTooManyRequests
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge
 	}

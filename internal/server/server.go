@@ -41,6 +41,11 @@ var ErrGraphNotFound = errors.New("server: graph not found")
 // not take effect.
 var ErrGraphConflict = errors.New("server: graph replaced during mutation")
 
+// ErrIngestBackpressure is returned by Mutate when the graph's ingestion
+// queue is at its depth bound (the applier has fallen behind); the HTTP
+// layer maps it to 429 + Retry-After. The batch was not enqueued.
+var ErrIngestBackpressure = errors.New("server: ingest queue full")
+
 // Config parameterizes a Server.
 type Config struct {
 	// Workers is the shared-memory parallelism handed to every compute
@@ -97,6 +102,21 @@ type Config struct {
 	// SlowQuery, when positive, logs any instrumented HTTP request that
 	// takes at least this long as a warning with route and latency.
 	SlowQuery time.Duration
+	// IngestQueue enables async mutation ingestion: PATCH batches land in
+	// a per-graph write-ahead queue and a background applier coalesces the
+	// backlog into one group-commit apply, so N queued writers pay ~one
+	// probe + one machine region instead of N (see ingest.go).
+	IngestQueue bool
+	// IngestDurability is the default acknowledgment level for queued
+	// mutations: DurabilityApplied (block until the group commit lands —
+	// the default, and the sync path's semantics) or DurabilityEnqueued
+	// (acknowledge on enqueue; the response carries queued=true and the
+	// pre-commit version). Per-request override via MutateRequest.
+	IngestDurability string
+	// IngestMaxDepth bounds each graph's queue to this many pending
+	// batches; enqueues beyond it fail with ErrIngestBackpressure
+	// (HTTP 429). 0 selects the default of 256; negative = unbounded.
+	IngestMaxDepth int
 	// NewDynamic overrides streaming-engine construction. cmd/mfbc-serve
 	// uses it in -transport tcp mode to build engines whose applies are
 	// replicated across the worker ranks (internal/rankrun); nil
@@ -134,6 +154,9 @@ type Server struct {
 	dynRefreshEvery int
 	logCompactAt    int
 	logTruncate     bool
+	ingest          bool   // async ingestion enabled (Config.IngestQueue)
+	ingestDurable   string // default ack level: DurabilityApplied | DurabilityEnqueued
+	ingestMaxDepth  int    // per-graph queue bound; ≤ 0 = unbounded
 	newDynamic      func(name string, g *repro.Graph, opt repro.DynamicOptions) (DynEngine, error)
 
 	// computeExact/computeApprox are repro.Compute/repro.ApproximateBC,
@@ -153,6 +176,7 @@ type Server struct {
 	lru      *list.List               // guarded by mu; front = most recently used *cacheEntry
 	flight   map[string]*flightCall   // guarded by mu; cache key → in-flight computation
 	mutLocks map[string]*sync.Mutex   // guarded by mu; graph name → mutation serializer (never deleted; see Evict)
+	queues   map[string]*ingestQueue  // guarded by mu; graph name → write-ahead mutation queue (deleted + closed on Evict)
 }
 
 type graphEntry struct {
@@ -219,6 +243,15 @@ type Stats struct {
 	FusedApplies     int64 `json:"fused_applies"`
 	TwoRegionApplies int64 `json:"two_region_applies"`
 	OperandEvictions int64 `json:"operand_evictions"`
+	// Async-ingestion counters (Config.IngestQueue): batches accepted into
+	// write-ahead queues, group commits executed, batches merged into
+	// them, backpressure rejections, and per-batch failures.
+	IngestEnqueued    int64 `json:"ingest_enqueued"`
+	IngestCommits     int64 `json:"ingest_commits"`
+	IngestCoalesced   int64 `json:"ingest_coalesced"`
+	IngestRejected    int64 `json:"ingest_rejected"`
+	IngestBatchErrors int64 `json:"ingest_batch_errors"`
+	IngestQueueDepth  int   `json:"ingest_queue_depth"` // queued, not yet drained
 }
 
 // New creates a Server.
@@ -238,6 +271,14 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	durable := cfg.IngestDurability
+	if durable != DurabilityEnqueued {
+		durable = DurabilityApplied
+	}
+	maxDepth := cfg.IngestMaxDepth
+	if maxDepth == 0 {
+		maxDepth = defaultIngestMaxDepth
+	}
 	s := &Server{
 		workers:         cfg.Workers,
 		cacheSize:       size,
@@ -248,6 +289,9 @@ func New(cfg Config) *Server {
 		dynRefreshEvery: cfg.DynRefreshEvery,
 		logCompactAt:    cfg.LogCompactAt,
 		logTruncate:     cfg.LogTruncate,
+		ingest:          cfg.IngestQueue,
+		ingestDurable:   durable,
+		ingestMaxDepth:  maxDepth,
 		newDynamic:      cfg.NewDynamic,
 		computeExact:    repro.Compute,
 		computeApprox:   repro.ApproximateBC,
@@ -261,6 +305,7 @@ func New(cfg Config) *Server {
 		lru:             list.New(),
 		flight:          make(map[string]*flightCall),
 		mutLocks:        make(map[string]*sync.Mutex),
+		queues:          make(map[string]*ingestQueue),
 	}
 	if s.newDynamic == nil {
 		s.newDynamic = func(_ string, g *repro.Graph, opt repro.DynamicOptions) (DynEngine, error) {
@@ -312,6 +357,18 @@ type serverMetrics struct {
 	queryDur  *obs.HistogramVec // source: cache|coalesced|compute
 	mutateDur *obs.HistogramVec // strategy: incremental|full|sampled
 
+	// Async-ingestion telemetry (ingest.go): queue depth, batches
+	// enqueued/rejected/failed, group commits and their coalescing win,
+	// and how long batches waited queued before their commit started.
+	ingestEnqueued    *obs.Counter
+	ingestRejected    *obs.Counter
+	ingestBatchErrors *obs.Counter
+	ingestCoalesced   *obs.Counter
+	ingestCommits     *obs.Counter
+	ingestDepth       *obs.Gauge
+	ingestGroupSize   *obs.Histogram
+	ingestQueueWait   *obs.Histogram
+
 	httpReqs  *obs.CounterVec   // route, code
 	httpDur   *obs.HistogramVec // route
 	httpBytes *obs.HistogramVec // route; response body bytes
@@ -347,16 +404,27 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		warmSeeds:       reg.CounterVec("mfbc_warm_seeds_total", "Cache entries seeded from dynamic-engine scores.", "variant"),
 		queryDur:        reg.HistogramVec("mfbc_query_duration_seconds", "Query latency by answer source.", nil, "source"),
 		mutateDur:       reg.HistogramVec("mfbc_mutate_duration_seconds", "Mutation batch latency by engine strategy.", nil, "strategy"),
-		httpReqs:        reg.CounterVec("mfbc_http_requests_total", "HTTP requests by route and status code.", "route", "code"),
-		httpDur:         reg.HistogramVec("mfbc_http_request_duration_seconds", "HTTP request latency by route.", nil, "route"),
-		httpBytes:       reg.HistogramVec("mfbc_http_response_bytes", "HTTP response body size by route.", obs.SizeBuckets(), "route"),
-		applyModelSec:   reg.Counter("mfbc_apply_model_seconds_total", "Modeled α-β-γ seconds of applied mutation batches."),
-		applyWallSec:    reg.Counter("mfbc_apply_wall_seconds_total", "Measured wall-clock seconds of applied mutation batches."),
-		phaseModelSec:   reg.CounterVec("mfbc_phase_model_seconds_total", "Modeled seconds per machine phase.", "phase"),
-		phaseWallSec:    reg.CounterVec("mfbc_phase_wall_seconds_total", "Measured wall-clock seconds per machine phase.", "phase"),
-		phaseBytes:      reg.CounterVec("mfbc_phase_bytes_total", "Modeled critical-path bytes per machine phase.", "phase"),
-		phaseMsgs:       reg.CounterVec("mfbc_phase_msgs_total", "Modeled critical-path messages per machine phase.", "phase"),
-		phaseFlops:      reg.CounterVec("mfbc_phase_flops_total", "Modeled critical-path flops per machine phase.", "phase"),
+		ingestEnqueued:  reg.Counter("mfbc_ingest_enqueued_total", "Mutation batches accepted into a write-ahead queue."),
+		ingestRejected:  reg.Counter("mfbc_ingest_rejected_total", "Mutation batches rejected by queue backpressure."),
+		ingestBatchErrors: reg.Counter("mfbc_ingest_batch_errors_total",
+			"Queued mutation batches that failed (validation, eviction, conflict)."),
+		ingestCoalesced: reg.Counter("mfbc_ingest_coalesced_total", "Queued mutation batches merged into group commits."),
+		ingestCommits:   reg.Counter("mfbc_ingest_group_commits_total", "Group-commit applies executed by queue drainers."),
+		ingestDepth:     reg.Gauge("mfbc_ingest_queue_depth", "Mutation batches queued and not yet drained, across graphs."),
+		ingestGroupSize: reg.Histogram("mfbc_ingest_group_commit_size", "Batches coalesced per group commit.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		ingestQueueWait: reg.Histogram("mfbc_ingest_queue_wait_seconds",
+			"Time batches spent queued before their group commit started.", nil),
+		httpReqs:      reg.CounterVec("mfbc_http_requests_total", "HTTP requests by route and status code.", "route", "code"),
+		httpDur:       reg.HistogramVec("mfbc_http_request_duration_seconds", "HTTP request latency by route.", nil, "route"),
+		httpBytes:     reg.HistogramVec("mfbc_http_response_bytes", "HTTP response body size by route.", obs.SizeBuckets(), "route"),
+		applyModelSec: reg.Counter("mfbc_apply_model_seconds_total", "Modeled α-β-γ seconds of applied mutation batches."),
+		applyWallSec:  reg.Counter("mfbc_apply_wall_seconds_total", "Measured wall-clock seconds of applied mutation batches."),
+		phaseModelSec: reg.CounterVec("mfbc_phase_model_seconds_total", "Modeled seconds per machine phase.", "phase"),
+		phaseWallSec:  reg.CounterVec("mfbc_phase_wall_seconds_total", "Measured wall-clock seconds per machine phase.", "phase"),
+		phaseBytes:    reg.CounterVec("mfbc_phase_bytes_total", "Modeled critical-path bytes per machine phase.", "phase"),
+		phaseMsgs:     reg.CounterVec("mfbc_phase_msgs_total", "Modeled critical-path messages per machine phase.", "phase"),
+		phaseFlops:    reg.CounterVec("mfbc_phase_flops_total", "Modeled critical-path flops per machine phase.", "phase"),
 	}
 	// Pre-register the fixed label vocabularies so scrapes are complete
 	// (and byte-stable) from the start, not only after first use.
@@ -471,14 +539,28 @@ func (s *Server) GenerateGraph(name string, spec GraphSpec) (GraphInfo, error) {
 // the serializer keyed by name for the server's lifetime preserves
 // per-graph ordering across evict/re-register cycles; the map grows only
 // with the set of distinct names ever mutated.
+//
+// The graph's write-ahead ingestion queue, by contrast, dies with the
+// graph: it is removed from the registry here and closed, every batch
+// still queued fails with ErrGraphNotFound, and a re-registered graph
+// under the same name gets a fresh empty queue — an evicted graph's
+// pending mutations are never resurrected. A group commit already past
+// Drain fails at install time with ErrGraphConflict (the entry it read
+// is no longer registered), exactly like the sync path.
 func (s *Server) Evict(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.graphs[name]; !ok {
+		s.mu.Unlock()
 		return ErrGraphNotFound
 	}
 	delete(s.graphs, name)
 	s.purgeLocked(name)
+	q := s.queues[name]
+	delete(s.queues, name)
+	s.mu.Unlock()
+	if q != nil {
+		s.failOrphans(name, q.Close())
+	}
 	return nil
 }
 
@@ -512,6 +594,12 @@ func (s *Server) purgeLocked(name string) {
 // PATCH /graphs/{name}.
 type MutateRequest struct {
 	Mutations []repro.Mutation `json:"mutations"`
+	// Durability overrides the server's default acknowledgment level for
+	// async ingestion: "applied" blocks until the group commit lands,
+	// "enqueued" acknowledges as soon as the batch is queued (202, with
+	// queued=true and the pre-commit version). Ignored unless the server
+	// runs with an ingest queue; empty uses the server default.
+	Durability string `json:"durability,omitempty"`
 }
 
 // MutateResult reports one applied batch: version bump, strategy the
@@ -539,6 +627,18 @@ type MutateResult struct {
 	Comm      repro.CommReport  `json:"comm"`
 	Phases    []repro.PhaseComm `json:"phases,omitempty"`
 	ComputeMS float64           `json:"compute_ms"`
+	// Async-ingestion fields. Queued marks an enqueued-durability ack:
+	// the batch is in the write-ahead queue (at QueueDepth) but not yet
+	// applied, and Version still reports the pre-commit fingerprint. For
+	// applied-durability batches, CoalescedBatches is how many queued
+	// batches the group commit that carried this one merged (Applied is
+	// then the post-coalescing op count of the whole group, and Version
+	// spans from OldVersion over every batch in it), and QueueWaitMS is
+	// the time this batch waited queued before that commit started.
+	Queued           bool    `json:"queued,omitempty"`
+	QueueDepth       int     `json:"queue_depth,omitempty"`
+	CoalescedBatches int     `json:"coalesced_batches,omitempty"`
+	QueueWaitMS      float64 `json:"queue_wait_ms,omitempty"`
 }
 
 // mutLockFor returns the per-graph mutation serializer, creating it on
@@ -563,6 +663,10 @@ func (s *Server) mutLockFor(name string) *sync.Mutex {
 // cache under the default exact query key, so the next query after a
 // mutation is a warm hit instead of a recompute. Queries concurrent with
 // Mutate see either the old or the new version, never a torn state.
+//
+// With Config.IngestQueue set, the batch goes through the write-ahead
+// queue and group-commit pipeline instead of applying synchronously —
+// see MutateDurable.
 func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, error) {
 	return s.MutateCtx(context.Background(), name, muts)
 }
@@ -571,12 +675,12 @@ func (s *Server) Mutate(name string, muts []repro.Mutation) (*MutateResult, erro
 // (the HTTP middleware's root span), the apply reports itself and its
 // machine regions as child spans pairing modeled cost with wall-clock.
 func (s *Server) MutateCtx(ctx context.Context, name string, muts []repro.Mutation) (*MutateResult, error) {
-	if len(muts) == 0 {
-		return nil, errors.New("server: empty mutation batch")
-	}
-	ctx, span := obs.StartSpan(ctx, "server.mutate")
-	defer span.End()
-	span.SetAttr("graph", name).SetAttr("mutations", len(muts))
+	return s.MutateDurable(ctx, name, muts, "")
+}
+
+// mutateSync is the synchronous mutation path (no ingest queue): take the
+// per-graph serializer and run the batch through applyCommitted.
+func (s *Server) mutateSync(ctx context.Context, name string, muts []repro.Mutation) (*MutateResult, error) {
 	start := time.Now()
 	lk := s.mutLockFor(name)
 	lk.Lock()
@@ -584,10 +688,25 @@ func (s *Server) MutateCtx(ctx context.Context, name string, muts []repro.Mutati
 
 	s.mu.Lock()
 	ge, ok := s.graphs[name]
+	s.mu.Unlock()
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
+	return s.applyCommitted(ctx, name, ge, muts, start)
+}
+
+// applyCommitted runs one mutation batch through the graph's dynamic
+// engine and installs the new (graph, scores) version. Callers hold the
+// per-graph mutation serializer and pass the registry entry they decided
+// to mutate; if the registry moved past it meanwhile, the install fails
+// with ErrGraphConflict and the engine's work is orphaned. start is when
+// the caller began the batch (queue time included for group commits).
+func (s *Server) applyCommitted(ctx context.Context, name string, ge *graphEntry, muts []repro.Mutation, start time.Time) (*MutateResult, error) {
+	ctx, span := obs.StartSpan(ctx, "server.mutate")
+	defer span.End()
+	span.SetAttr("graph", name).SetAttr("mutations", len(muts))
+
+	s.mu.Lock()
 	oldVersion := ge.version
 	dyn := ge.dyn
 	s.mu.Unlock()
@@ -768,6 +887,12 @@ func (s *Server) Stats() Stats {
 		WarmSeedsNormalized:  int64(s.m.warmSeeds.With("normalized").Value()),
 		WarmSeedsDistributed: int64(s.m.warmSeeds.With("distributed").Value()),
 		WarmSeedsTopK:        int64(s.m.warmSeeds.With("topk").Value()),
+		IngestEnqueued:       int64(s.m.ingestEnqueued.Value()),
+		IngestCommits:        int64(s.m.ingestCommits.Value()),
+		IngestCoalesced:      int64(s.m.ingestCoalesced.Value()),
+		IngestRejected:       int64(s.m.ingestRejected.Value()),
+		IngestBatchErrors:    int64(s.m.ingestBatchErrors.Value()),
+		IngestQueueDepth:     int(s.m.ingestDepth.Value()),
 	}
 	st.WarmSeeds = st.WarmSeedsExact + st.WarmSeedsNormalized + st.WarmSeedsDistributed
 	for _, ge := range s.graphs {
